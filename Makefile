@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench experiments examples cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the ablations and extensions.
+experiments:
+	go run ./cmd/experiments | tee experiments_output.txt
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/busride
+	go run ./examples/alphasweep
+	go run ./examples/modelfit
+	go run ./examples/fairshare
+	go run ./examples/trainagent
+	go run ./examples/httpstream
+
+cover:
+	go test -cover ./...

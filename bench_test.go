@@ -1,0 +1,285 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md's experiment
+// index) plus microbenchmarks for the simulator's hot paths. The
+// expensive five-trace comparison is computed once per process and
+// cached in the shared eval.Env, so per-iteration work measures the
+// report-generation path the way cmd/experiments exercises it.
+package ecavs_test
+
+import (
+	"sync"
+	"testing"
+
+	"ecavs"
+	"ecavs/internal/abr"
+	"ecavs/internal/core"
+	"ecavs/internal/dash"
+	"ecavs/internal/eval"
+	"ecavs/internal/netsim"
+	"ecavs/internal/player"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+	"ecavs/internal/sim"
+	"ecavs/internal/trace"
+	"ecavs/internal/vibration"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *eval.Env
+)
+
+// env returns the shared experiment environment with the comparison
+// pre-computed, so artifact benchmarks measure report generation.
+func env(b *testing.B) *eval.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = eval.NewEnv()
+		if _, err := benchEnv.Comparison(); err != nil {
+			b.Fatalf("prime comparison: %v", err)
+		}
+	})
+	return benchEnv
+}
+
+// benchExperiment runs one registry experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := env(b)
+	ex, err := eval.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := ex.Run(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1aEnergyVsSignal(b *testing.B)     { benchExperiment(b, "fig1a") }
+func BenchmarkFig1bQoEEnergyVsBitrate(b *testing.B) { benchExperiment(b, "fig1b") }
+func BenchmarkFig2aSpatialTemporal(b *testing.B)    { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bQualityCurveFit(b *testing.B)    { benchExperiment(b, "fig2b") }
+func BenchmarkFig2cImpairmentSurface(b *testing.B)  { benchExperiment(b, "fig2c") }
+func BenchmarkTable2Ladder(b *testing.B)            { benchExperiment(b, "tab2") }
+func BenchmarkTable3Coefficients(b *testing.B)      { benchExperiment(b, "tab3") }
+func BenchmarkTable5Traces(b *testing.B)            { benchExperiment(b, "tab5") }
+func BenchmarkTable6PowerValidation(b *testing.B)   { benchExperiment(b, "tab6") }
+func BenchmarkFig5aEnergyComparison(b *testing.B)   { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bEnergySaving(b *testing.B)       { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cBaseExtra(b *testing.B)          { benchExperiment(b, "fig5c") }
+func BenchmarkFig6aQoEComparison(b *testing.B)      { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bAverageQoE(b *testing.B)         { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cQoEDegradation(b *testing.B)     { benchExperiment(b, "fig6c") }
+func BenchmarkFig7SavingRatio(b *testing.B)         { benchExperiment(b, "fig7") }
+
+// Ablation benchmarks (design choices called out in DESIGN.md).
+
+func BenchmarkAblationAlphaSweep(b *testing.B)      { benchExperiment(b, "abl-alpha") }
+func BenchmarkAblationNoContext(b *testing.B)       { benchExperiment(b, "abl-context") }
+func BenchmarkAblationNoGradualSwitch(b *testing.B) { benchExperiment(b, "abl-gradual") }
+func BenchmarkAblationEstimators(b *testing.B)      { benchExperiment(b, "abl-estimator") }
+func BenchmarkAblationVibrationWindow(b *testing.B) { benchExperiment(b, "abl-window") }
+func BenchmarkAblationTailEnergy(b *testing.B)      { benchExperiment(b, "abl-tail") }
+func BenchmarkAblationAbandonment(b *testing.B)     { benchExperiment(b, "abl-abandon") }
+func BenchmarkAblationSegmentDuration(b *testing.B) { benchExperiment(b, "abl-segdur") }
+func BenchmarkExtendedBaselines(b *testing.B)       { benchExperiment(b, "ext-baselines") }
+func BenchmarkExtendedLearned(b *testing.B)         { benchExperiment(b, "ext-learned") }
+func BenchmarkExtendedBrightness(b *testing.B)      { benchExperiment(b, "ext-brightness") }
+func BenchmarkExtendedFairness(b *testing.B)        { benchExperiment(b, "ext-fairness") }
+func BenchmarkExtendedRobustness(b *testing.B)      { benchExperiment(b, "ext-robustness") }
+
+// End-to-end session benchmarks: one full trace replay per iteration.
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	traces, err := ecavs.GenerateTableVTraces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traces[0]
+}
+
+func BenchmarkSessionYoutube(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecavs.Stream(tr, ecavs.NewYoutube()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionOnline(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := ecavs.NewOnline(ecavs.DefaultAlpha)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ecavs.Stream(tr, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalPlanner(b *testing.B) {
+	tr := benchTrace(b)
+	obj, err := core.NewObjective(core.DefaultAlpha, power.EvalModel(), qoe.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	man, err := sim.ManifestForTrace(tr, dash.EvalLadder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks, err := core.ObserveTasks(tr, man, player.DefaultBufferThresholdSec, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanOptimal(obj, dash.EvalLadder(), tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Microbenchmarks for the hot paths.
+
+func BenchmarkOnlineDecision(b *testing.B) {
+	obj, err := core.NewObjective(core.DefaultAlpha, power.EvalModel(), qoe.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := core.NewOnline(obj)
+	alg.ObserveDownload(15)
+	ladder := dash.EvalLadder()
+	sizes := make([]float64, len(ladder))
+	for i, r := range ladder {
+		sizes[i] = r.BitrateMbps / 8 * 2
+	}
+	ctx := abr.Context{
+		SegmentIndex:       10,
+		Ladder:             ladder,
+		SegmentSizesMB:     sizes,
+		SegmentDurationSec: 2,
+		PrevRung:           7,
+		BufferSec:          25,
+		BufferThresholdSec: 30,
+		SignalDBm:          -105,
+		VibrationLevel:     6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.ChooseRung(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelAdvance(b *testing.B) {
+	pm := power.EvalModel()
+	ch, err := netsim.NewChannel(netsim.VehicleSignal, netsim.FadingConfig{}, pm.NominalThroughputMBps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Advance(0.1)
+		_ = ch.ThroughputMBps()
+	}
+}
+
+func BenchmarkVibrationLevel(b *testing.B) {
+	gen, err := vibration.NewGenerator(vibration.DefaultSampleRateHz, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := gen.Generate(vibration.Bus, 0, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vibration.Level(samples) <= 0 {
+			b.Fatal("degenerate level")
+		}
+	}
+}
+
+func BenchmarkHarmonicMeanEstimator(b *testing.B) {
+	e := netsim.NewHarmonicMeanEstimator(20)
+	for i := 0; i < 20; i++ {
+		e.Push(float64(i%7) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Push(float64(i%9) + 1)
+		if _, ok := e.Estimate(); !ok {
+			b.Fatal("no estimate")
+		}
+	}
+}
+
+func BenchmarkPowerMonitor(b *testing.B) {
+	mo := power.NewMonitor(power.MonitorConfig{Seed: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mo.Observe(2.5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkManifestGeneration(b *testing.B) {
+	video, err := dash.VideoByTitle("Battle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dash.NewManifest(video, dash.EvalLadder(), dash.ManifestConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	pm := power.EvalModel()
+	spec := trace.TableVSpecs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(spec, pm.NominalThroughputMBps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentQoE(b *testing.B) {
+	m := qoe.Default()
+	seg := qoe.Segment{BitrateMbps: 3.0, PrevBitrateMbps: 1.5, Vibration: 6, RebufferSec: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.SegmentQoE(seg) <= 0 {
+			b.Fatal("degenerate QoE")
+		}
+	}
+}
+
+func BenchmarkSegmentEnergy(b *testing.B) {
+	m := power.EvalModel()
+	task := power.SegmentTask{BitrateMbps: 3.0, DurationSec: 2, SignalDBm: -105, BufferSec: 25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.SegmentEnergy(task).TotalJ() <= 0 {
+			b.Fatal("degenerate energy")
+		}
+	}
+}

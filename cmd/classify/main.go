@@ -1,0 +1,93 @@
+// Command classify reads an accelerometer CSV (the format tracegen
+// writes: time_sec,x,y,z) and prints the viewing context over time:
+// the Eq. 5 vibration level and the inferred context class per window.
+//
+// Usage:
+//
+//	classify -in traces/trace1_accel.csv
+//	classify -demo            # classify a synthetic bus ride instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecavs/internal/trace"
+	"ecavs/internal/vibration"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	in := fs.String("in", "", "accelerometer CSV (time_sec,x,y,z)")
+	demo := fs.Bool("demo", false, "classify a synthetic bus ride instead of a file")
+	window := fs.Float64("window", vibration.DefaultWindowSec, "analysis window in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var samples []vibration.Sample
+	switch {
+	case *demo:
+		gen, err := vibration.NewGenerator(vibration.DefaultSampleRateHz, 1)
+		if err != nil {
+			return err
+		}
+		samples = gen.GenerateSchedule(func(t float64) vibration.Profile {
+			switch {
+			case t < 20:
+				return vibration.QuietRoom
+			case t < 60:
+				return vibration.Bus
+			case t < 80:
+				return vibration.Cafe
+			default:
+				return vibration.Car
+			}
+		}, 0, 100)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		samples, err = trace.DecodeAccelCSV(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -in <csv> or -demo")
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no samples")
+	}
+
+	classifier, err := vibration.NewClassifier(*window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s  %10s  %8s  %6s  %s\n", "time", "vibration", "dom freq", "peak", "context")
+	nextReport := samples[0].TimeSec + *window
+	for _, s := range samples {
+		classifier.Push(s)
+		if s.TimeSec < nextReport {
+			continue
+		}
+		nextReport += *window
+		features, err := classifier.Features()
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%7.1fs  %7.2f m/s²  %5.2f Hz  %5.2f  %s\n",
+			s.TimeSec, features.RMS, features.DominantFreqHz, features.PeakRatio,
+			vibration.Classify(features))
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecavs/internal/trace"
+	"ecavs/internal/vibration"
+)
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"-demo"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromCSV(t *testing.T) {
+	gen, err := vibration.NewGenerator(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := gen.Generate(vibration.Bus, 0, 20)
+	path := filepath.Join(t.TempDir(), "accel.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeAccelCSV(f, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-demo", "-window", "-1"}); err == nil {
+		t.Error("negative window accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures (and
+// the ablations) as plain-text reports.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment ids
+//	experiments -only fig5a,tab6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecavs/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, ex := range eval.Registry() {
+			fmt.Printf("%-14s %s\n", ex.ID, ex.Label)
+		}
+		return nil
+	}
+
+	env := eval.NewEnv()
+	var selected []eval.Experiment
+	if *only == "" {
+		selected = eval.Registry()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			ex, err := eval.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, ex)
+		}
+	}
+
+	for _, ex := range selected {
+		table, err := ex.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "tab2"}); err != nil {
+		t.Fatalf("run(-only tab2): %v", err)
+	}
+}
+
+func TestRunMultipleWithSpaces(t *testing.T) {
+	if err := run([]string{"-only", "fig1a, tab2"}); err != nil {
+		t.Fatalf("run(-only fig1a, tab2): %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "nope"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"ecavs"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-trace", "1", "-algo", "ours"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, algo := range []string{"youtube", "festive", "bba", "bola", "mpc", "optimal"} {
+		if err := run([]string{"-trace", "2", "-algo", algo}); err != nil {
+			t.Errorf("run(%s): %v", algo, err)
+		}
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	if err := run([]string{"-trace", "1", "-algo", "youtube", "-v"}); err != nil {
+		t.Fatalf("run -v: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-trace", "9"}); err == nil {
+		t.Error("trace id out of range accepted")
+	}
+	if err := run([]string{"-algo", "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-algo", "ours", "-alpha", "7"}); err == nil {
+		t.Error("out-of-range alpha accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunFromSavedTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	traces, err := genTraces(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traces[0].Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "1", "-dir", dir, "-algo", "youtube"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "9", "-dir", dir}); err == nil {
+		t.Error("missing trace in dir accepted")
+	}
+}
+
+func genTraces(t *testing.T) ([]*ecavs.Trace, error) {
+	t.Helper()
+	return ecavs.GenerateTableVTraces()
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ecavs/internal/trace"
+)
+
+func TestRunWritesTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	// All five traces load back.
+	for id := 1; id <= 5; id++ {
+		tr, err := trace.Load(dir, id)
+		if err != nil {
+			t.Fatalf("load trace %d: %v", id, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trace %d invalid after round trip: %v", id, err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunUnwritableDir(t *testing.T) {
+	// A path under a file cannot be created.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "file")
+	if err := run([]string{"-out", blocked}); err != nil {
+		t.Skipf("first write failed unexpectedly: %v", err)
+	}
+	// Now /file exists as a directory; nest under one of its files.
+	if err := run([]string{"-out", filepath.Join(blocked, "trace1_meta.json", "sub")}); err == nil {
+		t.Error("nesting under a file accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Alphasweep: trace the energy/QoE Pareto front of the paper's
+// weighted-sum objective (Eq. 11) by sweeping the energy weight alpha
+// over the five evaluation traces. Useful for picking an operating
+// point other than the paper's alpha = 0.5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecavs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	traces, err := ecavs.GenerateTableVTraces()
+	if err != nil {
+		return err
+	}
+
+	// YouTube reference per trace.
+	ytEnergy := make([]float64, len(traces))
+	ytQoE := make([]float64, len(traces))
+	for i, tr := range traces {
+		m, err := ecavs.Stream(tr, ecavs.NewYoutube())
+		if err != nil {
+			return err
+		}
+		ytEnergy[i] = m.TotalJ()
+		ytQoE[i] = m.MeanQoE
+	}
+
+	fmt.Println("alpha   energy saving   QoE degradation   (averaged over the 5 Table V traces)")
+	for _, alpha := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		var save, degr float64
+		for i, tr := range traces {
+			alg, err := ecavs.NewOnline(alpha)
+			if err != nil {
+				return err
+			}
+			m, err := ecavs.Stream(tr, alg)
+			if err != nil {
+				return err
+			}
+			save += 1 - m.TotalJ()/ytEnergy[i]
+			degr += 1 - m.MeanQoE/ytQoE[i]
+		}
+		n := float64(len(traces))
+		marker := ""
+		if alpha == ecavs.DefaultAlpha {
+			marker = "   <- paper's setting"
+		}
+		fmt.Printf("%4.1f    %6.1f%%         %6.1f%%%s\n", alpha, 100*save/n, 100*degr/n, marker)
+	}
+	fmt.Println("\nsmaller alpha favours QoE; larger alpha favours battery life")
+	return nil
+}

@@ -1,0 +1,3 @@
+module ecavs
+
+go 1.22

@@ -1,0 +1,114 @@
+package abr
+
+import (
+	"errors"
+
+	"ecavs/internal/netsim"
+)
+
+// BBA is the buffer-based baseline of Huang et al. (SIGCOMM 2014) as
+// the paper describes it: throughput-driven during startup, then — once
+// the buffer reaches the steady state — a linear map from buffer
+// occupancy to bitrate between a reservoir and a cushion, requesting
+// the top rung whenever the buffer exceeds the cushion (the
+// "aggressive after steady state" behaviour the paper calls out).
+//
+// Construct with NewBBA; the zero value is unusable.
+type BBA struct {
+	// reservoirFrac and cushionFrac position the linear region within
+	// the buffer threshold: reservoir = reservoirFrac x beta,
+	// cushion top = cushionFrac x beta.
+	reservoirFrac float64
+	cushionFrac   float64
+
+	est    *netsim.LastSampleEstimator
+	steady bool
+}
+
+var _ Algorithm = (*BBA)(nil)
+
+// BBAOption customises the baseline.
+type BBAOption func(*BBA)
+
+// WithBBARegion overrides the reservoir/cushion fractions of the
+// buffer threshold (defaults 0.25 and 0.9).
+func WithBBARegion(reservoirFrac, cushionFrac float64) BBAOption {
+	return func(b *BBA) {
+		b.reservoirFrac = reservoirFrac
+		b.cushionFrac = cushionFrac
+	}
+}
+
+// ErrBadBBARegion is returned when the reservoir/cushion fractions are
+// not 0 < reservoir < cushion <= 1.
+var ErrBadBBARegion = errors.New("abr: BBA region must satisfy 0 < reservoir < cushion <= 1")
+
+// NewBBA returns the BBA baseline.
+func NewBBA(opts ...BBAOption) (*BBA, error) {
+	b := &BBA{
+		reservoirFrac: 0.25,
+		cushionFrac:   0.9,
+		est:           netsim.NewLastSampleEstimator(),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	if b.reservoirFrac <= 0 || b.cushionFrac <= b.reservoirFrac || b.cushionFrac > 1 {
+		return nil, ErrBadBBARegion
+	}
+	return b, nil
+}
+
+// Name implements Algorithm.
+func (b *BBA) Name() string { return "BBA" }
+
+// ChooseRung implements Algorithm.
+func (b *BBA) ChooseRung(ctx Context) (int, error) {
+	if len(ctx.Ladder) == 0 {
+		return 0, ErrEmptyContext
+	}
+	beta := ctx.BufferThresholdSec
+	if beta <= 0 {
+		beta = 30
+	}
+	reservoir := b.reservoirFrac * beta
+	cushionTop := b.cushionFrac * beta
+
+	// Startup phase: follow throughput until the buffer first clears
+	// the reservoir.
+	if !b.steady {
+		if ctx.BufferSec >= reservoir {
+			b.steady = true
+		} else {
+			bw, ok := b.est.Estimate()
+			if !ok {
+				return ctx.Ladder.Lowest().Index, nil
+			}
+			return ctx.Ladder.HighestBelow(bw).Index, nil
+		}
+	}
+
+	switch {
+	case ctx.BufferSec <= reservoir:
+		return ctx.Ladder.Lowest().Index, nil
+	case ctx.BufferSec >= cushionTop:
+		return ctx.Ladder.Highest().Index, nil
+	default:
+		// Linear interpolation across rungs.
+		frac := (ctx.BufferSec - reservoir) / (cushionTop - reservoir)
+		idx := int(frac * float64(len(ctx.Ladder)-1))
+		if idx >= len(ctx.Ladder) {
+			idx = len(ctx.Ladder) - 1
+		}
+		return idx, nil
+	}
+}
+
+// ObserveDownload implements Algorithm.
+func (b *BBA) ObserveDownload(thMbps float64) { b.est.Push(thMbps) }
+
+// Reset implements Algorithm.
+func (b *BBA) Reset() {
+	b.est.Reset()
+	b.steady = false
+}

@@ -1,0 +1,175 @@
+package abr
+
+import (
+	"errors"
+	"testing"
+
+	"ecavs/internal/dash"
+)
+
+func mpcCtx(t *testing.T, bufferSec float64, prevRung int) Context {
+	t.Helper()
+	ladder := dash.EvalLadder()
+	sizes := make([]float64, len(ladder))
+	for i, rep := range ladder {
+		sizes[i] = rep.BitrateMbps / 8 * 2
+	}
+	return Context{
+		Ladder:             ladder,
+		SegmentSizesMB:     sizes,
+		SegmentDurationSec: 2,
+		BufferSec:          bufferSec,
+		BufferThresholdSec: 30,
+		PrevRung:           prevRung,
+	}
+}
+
+func TestNewMPCValidation(t *testing.T) {
+	if _, err := NewMPC(WithMPCHorizon(0)); !errors.Is(err, ErrBadHorizon) {
+		t.Errorf("err = %v, want ErrBadHorizon", err)
+	}
+	m, err := NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "RobustMPC" {
+		t.Errorf("Name = %q, want RobustMPC", m.Name())
+	}
+	plain, err := NewMPC(WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Name() != "MPC" {
+		t.Errorf("Name = %q, want MPC", plain.Name())
+	}
+}
+
+func TestMPCStartupAtBottom(t *testing.T) {
+	m, err := NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rung, err := m.ChooseRung(mpcCtx(t, 0, -1))
+	if err != nil || rung != 0 {
+		t.Errorf("startup rung = %d, %v; want 0", rung, err)
+	}
+}
+
+func TestMPCHighBandwidthPicksHighRung(t *testing.T) {
+	m, err := NewMPC(WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.ObserveDownload(40)
+	}
+	rung, err := m.ChooseRung(mpcCtx(t, 25, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung < 12 {
+		t.Errorf("rung = %d, want near top with 40 Mbps and full buffer", rung)
+	}
+}
+
+func TestMPCLowBandwidthAvoidsRebuffering(t *testing.T) {
+	m, err := NewMPC(WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.ObserveDownload(1.0)
+	}
+	// Tiny buffer: picking a high rung would cost lambda * rebuffer.
+	rung, err := m.ChooseRung(mpcCtx(t, 2, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mpcCtx(t, 2, 13).Ladder[rung].BitrateMbps; got > 1.0 {
+		t.Errorf("bitrate = %v Mbps at 1 Mbps prediction and 2 s buffer, want <= 1.0", got)
+	}
+}
+
+func TestMPCSwitchPenaltySmoothsChoices(t *testing.T) {
+	// With a moderate estimate, MPC at prev=top steps down but not to
+	// the floor in one go (the switch penalty is linear so it won't
+	// crash unless rebuffering forces it).
+	m, err := NewMPC(WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.ObserveDownload(6.0)
+	}
+	rung, err := m.ChooseRung(mpcCtx(t, 28, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung < 10 {
+		t.Errorf("rung = %d: dropped too far with 6 Mbps prediction and a full buffer", rung)
+	}
+}
+
+func TestMPCRobustnessDiscountsPrediction(t *testing.T) {
+	robust, err := NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewMPC(WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed an erratic history: prediction error accumulates.
+	for _, th := range []float64{20, 2, 25, 3, 22, 2.5} {
+		robust.ObserveDownload(th)
+		plain.ObserveDownload(th)
+	}
+	ctx := mpcCtx(t, 12, 7)
+	r1, err := robust.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plain.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 > r2 {
+		t.Errorf("robust rung %d exceeds plain rung %d under erratic history", r1, r2)
+	}
+}
+
+func TestMPCReset(t *testing.T) {
+	m, err := NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveDownload(30)
+	m.Reset()
+	rung, err := m.ChooseRung(mpcCtx(t, 10, 5))
+	if err != nil || rung != 0 {
+		t.Errorf("rung after Reset = %d, %v; want 0", rung, err)
+	}
+}
+
+func TestMPCEmptyLadder(t *testing.T) {
+	m, err := NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ChooseRung(Context{}); !errors.Is(err, ErrEmptyContext) {
+		t.Errorf("err = %v, want ErrEmptyContext", err)
+	}
+}
+
+func TestMPCHorizonOption(t *testing.T) {
+	m, err := NewMPC(WithMPCHorizon(2), WithoutRobustness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m.ObserveDownload(10)
+	}
+	if _, err := m.ChooseRung(mpcCtx(t, 15, 7)); err != nil {
+		t.Errorf("short horizon failed: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: the energy-aware
+// and context-aware bitrate selection problem (Section III-D), its
+// optimal shortest-path solution (Section IV-A), and the online
+// bitrate-selection algorithm (Section IV-B, Algorithm 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+)
+
+// DefaultAlpha is the evaluation's weighting factor (Section V-A):
+// energy and QoE matter equally.
+const DefaultAlpha = 0.5
+
+// Objective is the weighted-sum scalarisation of Eq. 11. For one task
+// and one candidate bitrate it scores
+//
+//	alpha * E(r)/E(rmax) - (1-alpha) * QoE(r)/QoE(rmax)
+//
+// where rmax is the ladder's top rung; smaller is better. Alpha < 0.5
+// favours QoE, alpha > 0.5 favours energy saving.
+type Objective struct {
+	// Alpha is the energy weight in [0, 1].
+	Alpha float64
+	// Power is the energy model used to estimate E(r).
+	Power power.Model
+	// QoE is the quality model used to estimate QoE(r).
+	QoE qoe.Model
+}
+
+// ErrBadAlpha is returned for weights outside [0, 1].
+var ErrBadAlpha = errors.New("core: alpha must lie in [0, 1]")
+
+// NewObjective validates and returns an Objective.
+func NewObjective(alpha float64, p power.Model, q qoe.Model) (Objective, error) {
+	if alpha < 0 || alpha > 1 {
+		return Objective{}, fmt.Errorf("%w: %v", ErrBadAlpha, alpha)
+	}
+	if err := p.Validate(); err != nil {
+		return Objective{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return Objective{}, err
+	}
+	return Objective{Alpha: alpha, Power: p, QoE: q}, nil
+}
+
+// Candidate describes one (task, bitrate) pair to score.
+type Candidate struct {
+	// BitrateMbps is the candidate encoded bitrate.
+	BitrateMbps float64
+	// SizeMB is the segment payload at this bitrate.
+	SizeMB float64
+	// DurationSec is the segment playback duration.
+	DurationSec float64
+	// SignalDBm is the expected signal strength during download.
+	SignalDBm float64
+	// BandwidthMbps is the predicted link rate.
+	BandwidthMbps float64
+	// BufferSec is the playable buffer when the download starts.
+	BufferSec float64
+	// Vibration is the expected Eq. 5 vibration level.
+	Vibration float64
+	// PrevBitrateMbps is the previous segment's bitrate (0 = none).
+	PrevBitrateMbps float64
+}
+
+// Estimate holds a candidate's predicted energy and QoE.
+type Estimate struct {
+	// EnergyJ is the predicted task energy (Eq. 10).
+	EnergyJ float64
+	// QoE is the predicted task QoE (Eq. 1).
+	QoE float64
+	// RebufferSec is the predicted stall time.
+	RebufferSec float64
+}
+
+// Estimate predicts a candidate's energy and QoE using the models.
+func (o Objective) Estimate(c Candidate) Estimate {
+	thMBps := c.BandwidthMbps / 8
+	b := o.Power.SegmentEnergy(power.SegmentTask{
+		BitrateMbps:    c.BitrateMbps,
+		DurationSec:    c.DurationSec,
+		SizeMB:         c.SizeMB,
+		SignalDBm:      c.SignalDBm,
+		ThroughputMBps: thMBps,
+		BufferSec:      c.BufferSec,
+	})
+	q := o.QoE.SegmentQoE(qoe.Segment{
+		BitrateMbps:     c.BitrateMbps,
+		PrevBitrateMbps: c.PrevBitrateMbps,
+		Vibration:       c.Vibration,
+		RebufferSec:     b.RebufferSec,
+	})
+	return Estimate{EnergyJ: b.TotalJ(), QoE: q, RebufferSec: b.RebufferSec}
+}
+
+// Cost scores a candidate against the reference (top-rung) estimate
+// per Eq. 11. Smaller is better. ref.EnergyJ and ref.QoE must be
+// positive; degenerate references score the candidate neutrally.
+func (o Objective) Cost(est, ref Estimate) float64 {
+	if ref.EnergyJ <= 0 || ref.QoE <= 0 {
+		return 0
+	}
+	return o.Alpha*est.EnergyJ/ref.EnergyJ - (1-o.Alpha)*est.QoE/ref.QoE
+}
+
+// ScoreRungs estimates and scores every ladder rung of one task.
+// sizesMB[j] is the segment payload at rung j; base carries the shared
+// task context (its BitrateMbps/SizeMB fields are overwritten per
+// rung). bitrates must parallel sizesMB. The returned slices are
+// per-rung costs and estimates; the reference is the top rung.
+func (o Objective) ScoreRungs(base Candidate, bitrates, sizesMB []float64) (costs []float64, ests []Estimate, err error) {
+	if len(bitrates) == 0 || len(bitrates) != len(sizesMB) {
+		return nil, nil, errors.New("core: bitrates and sizes must be non-empty and parallel")
+	}
+	ests = make([]Estimate, len(bitrates))
+	for j := range bitrates {
+		c := base
+		c.BitrateMbps = bitrates[j]
+		c.SizeMB = sizesMB[j]
+		ests[j] = o.Estimate(c)
+	}
+	ref := ests[len(ests)-1]
+	costs = make([]float64, len(ests))
+	for j := range ests {
+		costs[j] = o.Cost(ests[j], ref)
+	}
+	return costs, ests, nil
+}
+
+// ArgminCost returns the index of the smallest cost (ties go to the
+// lower rung, i.e. the more energy-frugal choice).
+func ArgminCost(costs []float64) int {
+	best := 0
+	for j := 1; j < len(costs); j++ {
+		if costs[j] < costs[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+	"ecavs/internal/netsim"
+)
+
+// onlineCtx builds a context over the eval ladder with nominal sizes.
+func onlineCtx(mut func(*abr.Context)) abr.Context {
+	ladder := dash.EvalLadder()
+	sizes := make([]float64, len(ladder))
+	for i, r := range ladder {
+		sizes[i] = r.BitrateMbps / 8 * 2
+	}
+	ctx := abr.Context{
+		SegmentIndex:       10,
+		Ladder:             ladder,
+		SegmentSizesMB:     sizes,
+		SegmentDurationSec: 2,
+		PrevRung:           -1,
+		BufferSec:          25,
+		BufferThresholdSec: 30,
+		SignalDBm:          -100,
+		VibrationLevel:     5,
+	}
+	if mut != nil {
+		mut(&ctx)
+	}
+	return ctx
+}
+
+func newOnline(t *testing.T) *Online {
+	t.Helper()
+	return NewOnline(testObjective(t, DefaultAlpha))
+}
+
+func TestOnlineName(t *testing.T) {
+	if got := newOnline(t).Name(); got != "Ours" {
+		t.Errorf("Name = %q, want Ours", got)
+	}
+}
+
+func TestOnlineStartupAtBottom(t *testing.T) {
+	o := newOnline(t)
+	rung, err := o.ChooseRung(onlineCtx(nil))
+	if err != nil || rung != 0 {
+		t.Errorf("startup rung = %d, %v; want 0", rung, err)
+	}
+	// Even with an estimate, PrevRung = -1 keeps startup at the bottom.
+	o.ObserveDownload(20)
+	rung, err = o.ChooseRung(onlineCtx(nil))
+	if err != nil || rung != 0 {
+		t.Errorf("first-segment rung = %d, %v; want 0", rung, err)
+	}
+}
+
+func TestOnlineGradualIncrease(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(30)
+	// Quiet, strong-signal context: the reference is well above the
+	// bottom, but the step is one rung at a time.
+	ctx := onlineCtx(func(c *abr.Context) {
+		c.PrevRung = 0
+		c.SignalDBm = -88
+		c.VibrationLevel = 0.2
+	})
+	rung, err := o.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung != 1 {
+		t.Errorf("rung = %d, want 1 (gradual increase)", rung)
+	}
+}
+
+func TestOnlineClimbsToReference(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(40)
+	prev := 0
+	var last int
+	for i := 0; i < 20; i++ {
+		ctx := onlineCtx(func(c *abr.Context) {
+			c.PrevRung = prev
+			c.SignalDBm = -88
+			c.VibrationLevel = 0.2
+		})
+		rung, err := o.ChooseRung(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rung > prev+1 {
+			t.Fatalf("jumped %d -> %d", prev, rung)
+		}
+		prev = rung
+		last = rung
+		o.ObserveDownload(40)
+	}
+	// Converged rung must be meaningfully above the bottom and below
+	// the forced top (context-aware tradeoff).
+	if last < 4 {
+		t.Errorf("converged rung = %d, want >= 4 in a strong quiet context", last)
+	}
+}
+
+func TestOnlineStepsDownUnderVibration(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(15)
+	// Previous at the top; vibrating weak-signal context wants less.
+	ctx := onlineCtx(func(c *abr.Context) {
+		c.PrevRung = 13
+		c.SignalDBm = -112
+		c.VibrationLevel = 6.8
+	})
+	rung, err := o.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung >= 13 {
+		t.Errorf("rung = %d, want a decrease from 13", rung)
+	}
+	// With a healthy buffer the drop is the adjacent feasible rung,
+	// not a crash to the reference.
+	if rung < 10 {
+		t.Errorf("rung = %d, dropped too aggressively with a 25 s buffer", rung)
+	}
+}
+
+func TestOnlineDropsToReferenceWhenBufferStarved(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(1.0) // ~1 Mbps estimate
+	ctx := onlineCtx(func(c *abr.Context) {
+		c.PrevRung = 13
+		c.BufferSec = 0.01 // nothing buffered: no rung can finish in time
+		c.SignalDBm = -112
+		c.VibrationLevel = 6.8
+	})
+	rung, err := o.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rung in (ref, prev] downloads within 0.01 s, so the algorithm
+	// falls straight to the reference.
+	refCtx := onlineCtx(func(c *abr.Context) {
+		c.PrevRung = 13
+		c.BufferSec = 0.01
+		c.SignalDBm = -112
+		c.VibrationLevel = 6.8
+	})
+	_ = refCtx
+	if rung > 5 {
+		t.Errorf("rung = %d, want the (low) reference under 1 Mbps", rung)
+	}
+}
+
+func TestOnlineHoldsAtReference(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(15)
+	// Find the reference by walking down from the top until stable.
+	prev := 13
+	for i := 0; i < 20; i++ {
+		ctx := onlineCtx(func(c *abr.Context) {
+			c.PrevRung = prev
+			c.SignalDBm = -110
+			c.VibrationLevel = 6.5
+		})
+		rung, err := o.ChooseRung(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rung == prev {
+			return // reached and held the reference
+		}
+		prev = rung
+		o.ObserveDownload(15)
+	}
+	t.Error("never stabilised at the reference rung")
+}
+
+func TestOnlineErrors(t *testing.T) {
+	o := newOnline(t)
+	if _, err := o.ChooseRung(abr.Context{}); !errors.Is(err, abr.ErrEmptyContext) {
+		t.Errorf("err = %v, want ErrEmptyContext", err)
+	}
+	o.ObserveDownload(10)
+	ctx := onlineCtx(func(c *abr.Context) {
+		c.PrevRung = 3
+		c.SegmentSizesMB = []float64{1} // wrong length
+	})
+	if _, err := o.ChooseRung(ctx); !errors.Is(err, ErrNoSizes) {
+		t.Errorf("err = %v, want ErrNoSizes", err)
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(10)
+	o.Reset()
+	rung, err := o.ChooseRung(onlineCtx(func(c *abr.Context) { c.PrevRung = 5 }))
+	if err != nil || rung != 0 {
+		t.Errorf("rung after Reset = %d, %v; want 0 (no estimate)", rung, err)
+	}
+}
+
+func TestOnlinePrevRungClamped(t *testing.T) {
+	o := newOnline(t)
+	o.ObserveDownload(10)
+	ctx := onlineCtx(func(c *abr.Context) { c.PrevRung = 99 })
+	if _, err := o.ChooseRung(ctx); err != nil {
+		t.Errorf("out-of-range PrevRung not tolerated: %v", err)
+	}
+}
+
+func TestOnlineWithCustomEstimator(t *testing.T) {
+	o := NewOnline(testObjective(t, DefaultAlpha), WithEstimator(netsim.NewEWMAEstimator(0.5)))
+	o.ObserveDownload(20)
+	ctx := onlineCtx(func(c *abr.Context) { c.PrevRung = 0 })
+	rung, err := o.ChooseRung(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rung != 1 {
+		t.Errorf("rung = %d, want 1", rung)
+	}
+	// Nil estimator option is ignored.
+	o2 := NewOnline(testObjective(t, DefaultAlpha), WithEstimator(nil))
+	if _, err := o2.ChooseRung(onlineCtx(nil)); err != nil {
+		t.Errorf("nil estimator broke the default: %v", err)
+	}
+}
+
+// Cross-check: with gradual switching disabled, the online algorithm's
+// choice must equal the direct argmin of its own objective, for random
+// contexts.
+func TestOnlineDirectMatchesScoreRungs(t *testing.T) {
+	obj := testObjective(t, DefaultAlpha)
+	rng := rand.New(rand.NewSource(71))
+	ladder := dash.EvalLadder()
+	for trial := 0; trial < 200; trial++ {
+		bw := rng.Float64()*40 + 0.5
+		o := NewOnline(obj, WithDirectReference())
+		o.ObserveDownload(bw)
+		ctx := onlineCtx(func(c *abr.Context) {
+			c.PrevRung = rng.Intn(len(ladder))
+			c.BufferSec = rng.Float64() * 30
+			c.SignalDBm = -90 - rng.Float64()*25
+			c.VibrationLevel = rng.Float64() * 7
+		})
+		got, err := o.ChooseRung(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Candidate{
+			DurationSec:     ctx.SegmentDurationSec,
+			SignalDBm:       ctx.SignalDBm,
+			BandwidthMbps:   bw,
+			BufferSec:       ctx.BufferSec,
+			Vibration:       ctx.VibrationLevel,
+			PrevBitrateMbps: ladder[ctx.PrevRung].BitrateMbps,
+		}
+		costs, _, err := obj.ScoreRungs(base, ladder.Bitrates(), ctx.SegmentSizesMB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ArgminCost(costs); got != want {
+			t.Fatalf("trial %d: direct choice %d != argmin %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+	"ecavs/internal/graph"
+	"ecavs/internal/trace"
+)
+
+// TaskObservation is one task's (segment's) context as the offline
+// optimal planner sees it: the trace values around the segment's
+// nominal playback time. The optimal algorithm "requires perfect
+// knowledge of future tasks" (Section IV-A) — these observations are
+// that knowledge.
+type TaskObservation struct {
+	// SizesMB is the segment payload per ladder rung.
+	SizesMB []float64
+	// DurationSec is the segment playback duration.
+	DurationSec float64
+	// SignalDBm is the signal strength during the task.
+	SignalDBm float64
+	// BandwidthMbps is the link rate during the task.
+	BandwidthMbps float64
+	// Vibration is the Eq. 5 vibration level during the task.
+	Vibration float64
+	// BufferSec is the assumed buffer when the download starts (the
+	// steady-state threshold unless the caller knows better).
+	BufferSec float64
+}
+
+// Plan is the optimal planner's output.
+type Plan struct {
+	// Rungs is the selected ladder rung per task.
+	Rungs []int
+	// TotalCost is the summed Eq. 11 objective along the plan.
+	TotalCost float64
+}
+
+// Planner errors.
+var (
+	ErrNoTasks      = errors.New("core: no tasks to plan")
+	ErrSizeMismatch = errors.New("core: task sizes do not match the ladder")
+)
+
+// PlanOptimal maps the bitrate-selection problem to the layered DAG of
+// Fig. 4 — one node per (task, rung), a source, and a sink — and
+// solves it as a shortest-path problem. Edge weights carry the Eq. 11
+// objective of the destination task's candidate, including the
+// switch penalty between the endpoint rungs.
+//
+// Both solvers run: the topological DP (handles the objective's
+// negative weights directly) and Dijkstra on weights shifted per edge
+// by a constant (valid because every source-to-sink path has exactly
+// len(tasks)+1 edges); disagreement indicates a bug and is returned as
+// an error.
+func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Plan, error) {
+	if len(tasks) == 0 {
+		return Plan{}, ErrNoTasks
+	}
+	k := len(ladder)
+	if k == 0 {
+		return Plan{}, dash.ErrEmptyLadder
+	}
+	for i, t := range tasks {
+		if len(t.SizesMB) != k {
+			return Plan{}, fmt.Errorf("%w: task %d has %d sizes for %d rungs", ErrSizeMismatch, i, len(t.SizesMB), k)
+		}
+	}
+	n := len(tasks)
+	bitrates := ladder.Bitrates()
+
+	// Pre-compute per-task, per-(prev, rung) costs.
+	// costs[i][p][j]: cost of rung j at task i given previous rung p;
+	// p == k means "no previous" (first task).
+	costs := make([][][]float64, n)
+	minCost := math.Inf(1)
+	for i, t := range tasks {
+		costs[i] = make([][]float64, k+1)
+		for p := 0; p <= k; p++ {
+			base := Candidate{
+				DurationSec:   t.DurationSec,
+				SignalDBm:     t.SignalDBm,
+				BandwidthMbps: t.BandwidthMbps,
+				BufferSec:     t.BufferSec,
+				Vibration:     t.Vibration,
+			}
+			if p < k {
+				base.PrevBitrateMbps = bitrates[p]
+			}
+			cs, _, err := obj.ScoreRungs(base, bitrates, t.SizesMB)
+			if err != nil {
+				return Plan{}, err
+			}
+			costs[i][p] = cs
+			for _, c := range cs {
+				if c < minCost {
+					minCost = c
+				}
+			}
+		}
+	}
+
+	// Node numbering: 0 = source, 1 + i*k + j = (task i, rung j),
+	// sink = 1 + n*k.
+	node := func(i, j int) int { return 1 + i*k + j }
+	sink := 1 + n*k
+	shift := 0.0
+	if minCost < 0 {
+		shift = -minCost
+	}
+
+	build := func(withShift float64) (*graph.Graph, error) {
+		g := graph.New(sink + 1)
+		for j := 0; j < k; j++ {
+			if err := g.AddEdge(0, node(0, j), costs[0][k][j]+withShift); err != nil {
+				return nil, err
+			}
+		}
+		for i := 1; i < n; i++ {
+			for p := 0; p < k; p++ {
+				for j := 0; j < k; j++ {
+					if err := g.AddEdge(node(i-1, p), node(i, j), costs[i][p][j]+withShift); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			if err := g.AddEdge(node(n-1, j), sink, 0); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	}
+
+	// Topological DP on the raw (possibly negative) weights.
+	gRaw, err := build(0)
+	if err != nil {
+		return Plan{}, err
+	}
+	distDP, prevDP, err := gRaw.ShortestPathDAG(0)
+	if err != nil {
+		return Plan{}, err
+	}
+	if math.IsInf(distDP[sink], 1) {
+		return Plan{}, graph.ErrNoPath
+	}
+
+	// Dijkstra on shifted weights (the paper's stated solver).
+	gShift, err := build(shift)
+	if err != nil {
+		return Plan{}, err
+	}
+	distDij, _, err := gShift.Dijkstra(0)
+	if err != nil {
+		return Plan{}, err
+	}
+	// Every source-to-sink path has exactly n shifted task edges plus
+	// one zero-weight sink edge, so the shifted optimum is the raw
+	// optimum plus n x shift.
+	wantDij := distDP[sink] + shift*float64(n)
+	if math.Abs(distDij[sink]-wantDij) > 1e-6*math.Max(1, math.Abs(wantDij)) {
+		return Plan{}, fmt.Errorf("core: solver disagreement: DP %v vs Dijkstra %v (shift %v)",
+			distDP[sink], distDij[sink], shift)
+	}
+
+	path, err := graph.PathTo(prevDP, sink)
+	if err != nil {
+		return Plan{}, err
+	}
+	// path = [source, task nodes..., sink].
+	if len(path) != n+2 {
+		return Plan{}, fmt.Errorf("core: malformed plan path of length %d for %d tasks", len(path), n)
+	}
+	rungs := make([]int, n)
+	for i := 0; i < n; i++ {
+		rungs[i] = (path[i+1] - 1) % k
+	}
+	return Plan{Rungs: rungs, TotalCost: distDP[sink]}, nil
+}
+
+// ObserveTasks derives per-task observations from a recorded trace and
+// a manifest, placing task i at the nominal playback-paced time
+// i x segment duration — the timeline the paper's offline planner
+// assumes. bufferSec is the steady-state buffer assumption (typically
+// the 30 s threshold); windowSec is the vibration window.
+func ObserveTasks(tr *trace.Trace, m *dash.Manifest, bufferSec, windowSec float64) ([]TaskObservation, error) {
+	if tr == nil || m == nil {
+		return nil, errors.New("core: nil trace or manifest")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	link, err := tr.Link()
+	if err != nil {
+		return nil, err
+	}
+	n := m.SegmentCount()
+	k := len(m.Ladder())
+	out := make([]TaskObservation, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * m.SegmentSec()
+		for link.Now() < t {
+			link.Advance(t - link.Now())
+		}
+		dur, err := m.SegmentDuration(i)
+		if err != nil {
+			return nil, err
+		}
+		sizes := make([]float64, k)
+		for j := 0; j < k; j++ {
+			s, err := m.SegmentSizeMB(i, j)
+			if err != nil {
+				return nil, err
+			}
+			sizes[j] = s
+		}
+		out = append(out, TaskObservation{
+			SizesMB:       sizes,
+			DurationSec:   dur,
+			SignalDBm:     link.SignalDBm(),
+			BandwidthMbps: link.ThroughputMBps() * 8,
+			Vibration:     tr.VibrationAt(t, windowSec),
+			BufferSec:     bufferSec,
+		})
+	}
+	return out, nil
+}
+
+// PlannedAlgorithm wraps a precomputed optimal plan as an
+// abr.Algorithm so the simulator can replay it.
+type PlannedAlgorithm struct {
+	name  string
+	rungs []int
+}
+
+var _ abr.Algorithm = (*PlannedAlgorithm)(nil)
+
+// NewPlannedAlgorithm returns an algorithm that replays plan under the
+// given display name ("Optimal").
+func NewPlannedAlgorithm(name string, plan Plan) *PlannedAlgorithm {
+	rungs := make([]int, len(plan.Rungs))
+	copy(rungs, plan.Rungs)
+	return &PlannedAlgorithm{name: name, rungs: rungs}
+}
+
+// Name implements abr.Algorithm.
+func (p *PlannedAlgorithm) Name() string { return p.name }
+
+// ErrPlanExhausted is returned when more segments are requested than
+// the plan covers.
+var ErrPlanExhausted = errors.New("core: plan exhausted")
+
+// ChooseRung implements abr.Algorithm.
+func (p *PlannedAlgorithm) ChooseRung(ctx abr.Context) (int, error) {
+	if ctx.SegmentIndex < 0 || ctx.SegmentIndex >= len(p.rungs) {
+		return 0, fmt.Errorf("%w: segment %d of %d", ErrPlanExhausted, ctx.SegmentIndex, len(p.rungs))
+	}
+	return p.rungs[ctx.SegmentIndex], nil
+}
+
+// ObserveDownload implements abr.Algorithm.
+func (p *PlannedAlgorithm) ObserveDownload(float64) {}
+
+// Reset implements abr.Algorithm.
+func (p *PlannedAlgorithm) Reset() {}

@@ -1,0 +1,54 @@
+package dash
+
+import "fmt"
+
+// Video is one title of the quality-assessment catalog (Table I), with
+// the ITU-T P.910 spatial/temporal information attributes plotted in
+// Fig. 2(a). Higher SpatialInfo means more in-frame detail; higher
+// TemporalInfo means more motion between frames.
+type Video struct {
+	// Title is the catalog key ("Basketball").
+	Title string
+	// Genre describes the content per Table I.
+	Genre string
+	// SpatialInfo is the average SI metric.
+	SpatialInfo float64
+	// TemporalInfo is the average TI metric.
+	TemporalInfo float64
+	// DurationSec is the title's length for simulation purposes.
+	DurationSec float64
+}
+
+// Complexity summarises how hard the title is to encode, normalised so
+// a mid-complexity title is 1.0. It scales VBR segment sizes: detailed,
+// fast-moving content produces larger segments at equal target bitrate.
+func (v Video) Complexity() float64 {
+	return 0.5*(v.SpatialInfo/45) + 0.5*(v.TemporalInfo/15)
+}
+
+// Catalog returns the ten test videos of Table I with SI/TI values
+// matching the Fig. 2(a) scatter (axes: SI 30-60, TI 0-30).
+func Catalog() []Video {
+	return []Video{
+		{Title: "Speech", Genre: "Speech on TV", SpatialInfo: 31, TemporalInfo: 2.5, DurationSec: 300},
+		{Title: "Show", Genre: "Allen show", SpatialInfo: 42, TemporalInfo: 5, DurationSec: 300},
+		{Title: "Doc", Genre: "Documentary", SpatialInfo: 46, TemporalInfo: 7, DurationSec: 300},
+		{Title: "BBB", Genre: "Big Buck Bunny (animation)", SpatialInfo: 35, TemporalInfo: 13, DurationSec: 300},
+		{Title: "Sintel", Genre: "Sintel (movie)", SpatialInfo: 38, TemporalInfo: 9, DurationSec: 300},
+		{Title: "Matrix", Genre: "A fight scene in The Matrix (movie)", SpatialInfo: 48, TemporalInfo: 18, DurationSec: 300},
+		{Title: "Battle", Genre: "A battle scene in The Hobbit (movie)", SpatialInfo: 52, TemporalInfo: 25, DurationSec: 300},
+		{Title: "Basketball", Genre: "Sport", SpatialInfo: 57, TemporalInfo: 13, DurationSec: 300},
+		{Title: "Yacht", Genre: "Moving yacht", SpatialInfo: 44, TemporalInfo: 27, DurationSec: 300},
+		{Title: "Goodwood", Genre: "Horseracing", SpatialInfo: 59, TemporalInfo: 28, DurationSec: 300},
+	}
+}
+
+// VideoByTitle returns the catalog entry with the given title.
+func VideoByTitle(title string) (Video, error) {
+	for _, v := range Catalog() {
+		if v.Title == title {
+			return v, nil
+		}
+	}
+	return Video{}, fmt.Errorf("dash: unknown video %q", title)
+}

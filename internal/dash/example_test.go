@@ -1,0 +1,32 @@
+package dash_test
+
+import (
+	"fmt"
+
+	"ecavs/internal/dash"
+)
+
+// HighestBelow is the primitive every throughput-based ABR uses: the
+// best rung the estimated bandwidth can sustain.
+func ExampleLadder_HighestBelow() {
+	ladder := dash.TableIILadder()
+	for _, bw := range []float64{0.5, 2.0, 10.0} {
+		rep := ladder.HighestBelow(bw)
+		fmt.Printf("%.1f Mbps estimate -> %s (%.2f Mbps)\n", bw, rep.Name, rep.BitrateMbps)
+	}
+	// Output:
+	// 0.5 Mbps estimate -> 240p (0.38 Mbps)
+	// 2.0 Mbps estimate -> 480p (1.50 Mbps)
+	// 10.0 Mbps estimate -> 1080p (5.80 Mbps)
+}
+
+// Manifests slice a video into segments whose sizes scale with content
+// complexity.
+func ExampleNewManifest() {
+	video, _ := dash.VideoByTitle("Speech")
+	m, _ := dash.NewManifest(video, dash.TableIILadder(), dash.ManifestConfig{VBRJitter: 0})
+	size, _ := m.SegmentSizeMB(0, 5) // first segment, 1080p rung
+	fmt.Printf("%d segments, first 1080p segment %.3f MB\n", m.SegmentCount(), size)
+	// Output:
+	// 150 segments, first 1080p segment 0.620 MB
+}

@@ -1,0 +1,135 @@
+package dash
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// DefaultSegmentSec is the paper's segment duration (Section V-A).
+const DefaultSegmentSec = 2.0
+
+// Manifest is the client's view of one encoded video: its ladder,
+// segment duration, and per-segment payload sizes for every rung. Like
+// a real VBR encode, a segment's size jitters around
+// bitrate x duration, correlated across rungs (a complex scene is
+// large at every bitrate).
+//
+// Construct with NewManifest; the zero value is unusable.
+type Manifest struct {
+	video      Video
+	ladder     Ladder
+	segmentSec float64
+	// sizeMB[segIdx][rungIdx]
+	sizeMB [][]float64
+}
+
+// ErrBadSegmentDuration is returned for non-positive segment durations.
+var ErrBadSegmentDuration = errors.New("dash: segment duration must be positive")
+
+// ManifestConfig tunes manifest generation.
+type ManifestConfig struct {
+	// SegmentSec is the segment duration (default DefaultSegmentSec).
+	SegmentSec float64
+	// VBRJitter is the relative standard deviation of per-segment size
+	// around the nominal bitrate x duration (default 0.12). Zero
+	// disables jitter; negative is an error.
+	VBRJitter float64
+	// Seed seeds the deterministic jitter stream.
+	Seed int64
+}
+
+// ErrBadJitter is returned for negative VBR jitter.
+var ErrBadJitter = errors.New("dash: VBR jitter must be non-negative")
+
+// NewManifest cuts the video into segments over the given ladder.
+func NewManifest(v Video, l Ladder, cfg ManifestConfig) (*Manifest, error) {
+	if len(l) == 0 {
+		return nil, ErrEmptyLadder
+	}
+	if cfg.SegmentSec == 0 {
+		cfg.SegmentSec = DefaultSegmentSec
+	}
+	if cfg.SegmentSec < 0 {
+		return nil, ErrBadSegmentDuration
+	}
+	if cfg.VBRJitter < 0 {
+		return nil, ErrBadJitter
+	}
+	if v.DurationSec <= 0 {
+		return nil, errors.New("dash: video duration must be positive")
+	}
+
+	n := int(math.Ceil(v.DurationSec / cfg.SegmentSec))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	complexity := v.Complexity()
+	if complexity <= 0 {
+		complexity = 1
+	}
+
+	sizes := make([][]float64, n)
+	for seg := 0; seg < n; seg++ {
+		dur := cfg.SegmentSec
+		if rem := v.DurationSec - float64(seg)*cfg.SegmentSec; rem < dur {
+			dur = rem
+		}
+		// One scene-complexity draw per segment, shared across rungs so
+		// rung sizes stay ordered.
+		jitter := 1.0
+		if cfg.VBRJitter > 0 {
+			jitter = math.Exp(rng.NormFloat64()*cfg.VBRJitter - cfg.VBRJitter*cfg.VBRJitter/2)
+		}
+		row := make([]float64, len(l))
+		for ri, rep := range l {
+			row[ri] = rep.BitrateMbps / 8 * dur * jitter * complexity
+		}
+		sizes[seg] = row
+	}
+	return &Manifest{video: v, ladder: l, segmentSec: cfg.SegmentSec, sizeMB: sizes}, nil
+}
+
+// Video returns the manifest's title metadata.
+func (m *Manifest) Video() Video { return m.video }
+
+// Ladder returns the manifest's bitrate ladder.
+func (m *Manifest) Ladder() Ladder { return m.ladder }
+
+// SegmentCount returns the number of segments.
+func (m *Manifest) SegmentCount() int { return len(m.sizeMB) }
+
+// SegmentSec returns the nominal segment duration.
+func (m *Manifest) SegmentSec() float64 { return m.segmentSec }
+
+// SegmentDuration returns the playback duration of segment seg (the
+// final segment may be shorter).
+func (m *Manifest) SegmentDuration(seg int) (float64, error) {
+	if seg < 0 || seg >= len(m.sizeMB) {
+		return 0, ErrNoSuchRung
+	}
+	dur := m.segmentSec
+	if rem := m.video.DurationSec - float64(seg)*m.segmentSec; rem < dur {
+		dur = rem
+	}
+	return dur, nil
+}
+
+// SegmentSizeMB returns the payload of segment seg at ladder rung rung.
+func (m *Manifest) SegmentSizeMB(seg, rung int) (float64, error) {
+	if seg < 0 || seg >= len(m.sizeMB) || rung < 0 || rung >= len(m.ladder) {
+		return 0, ErrNoSuchRung
+	}
+	return m.sizeMB[seg][rung], nil
+}
+
+// TotalSizeMB returns the video's total payload when every segment is
+// fetched at the given rung.
+func (m *Manifest) TotalSizeMB(rung int) (float64, error) {
+	if rung < 0 || rung >= len(m.ladder) {
+		return 0, ErrNoSuchRung
+	}
+	var sum float64
+	for _, row := range m.sizeMB {
+		sum += row[rung]
+	}
+	return sum, nil
+}

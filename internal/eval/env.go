@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/core"
+	"ecavs/internal/dash"
+	"ecavs/internal/player"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+	"ecavs/internal/sim"
+	"ecavs/internal/trace"
+)
+
+// Env is the shared experiment environment: calibrated models, the
+// evaluation ladder, and lazily generated Table V traces with cached
+// per-algorithm session results (the Fig. 5-7 experiments all consume
+// the same five-trace comparison).
+type Env struct {
+	// Power is the Table VI calibration (validation experiments).
+	Power power.Model
+	// EvalPower is the trace-evaluation phone (Figs. 5-7).
+	EvalPower power.Model
+	// QoE is the Table III model.
+	QoE qoe.Model
+	// Ladder is the fourteen-rung Section V-A ladder.
+	Ladder dash.Ladder
+	// Alpha is the objective weight (Section V-A: 0.5).
+	Alpha float64
+
+	mu     sync.Mutex
+	traces []*trace.Trace
+	comp   *Comparison
+}
+
+// NewEnv returns the paper's evaluation environment.
+func NewEnv() *Env {
+	return &Env{
+		Power:     power.Default(),
+		EvalPower: power.EvalModel(),
+		QoE:       qoe.Default(),
+		Ladder:    dash.EvalLadder(),
+		Alpha:     core.DefaultAlpha,
+	}
+}
+
+// Traces returns the five Table V traces, generating them on first
+// use.
+func (e *Env) Traces() ([]*trace.Trace, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.traces == nil {
+		ts, err := trace.GenerateTableV(e.EvalPower.NominalThroughputMBps)
+		if err != nil {
+			return nil, err
+		}
+		e.traces = ts
+	}
+	return e.traces, nil
+}
+
+// AlgorithmNames orders the compared approaches as the paper's figures
+// do.
+var AlgorithmNames = []string{"Youtube", "FESTIVE", "BBA", "Ours", "Optimal"}
+
+// TraceResult holds one trace's five-algorithm outcomes.
+type TraceResult struct {
+	// Trace is the replayed session context.
+	Trace *trace.Trace
+	// BaseJ is the Section V-B base energy.
+	BaseJ float64
+	// ByAlgorithm maps algorithm name to its session metrics.
+	ByAlgorithm map[string]*sim.Metrics
+}
+
+// Comparison is the full five-trace, five-algorithm evaluation.
+type Comparison struct {
+	// Results is ordered by trace ID.
+	Results []TraceResult
+}
+
+// Comparison runs (or returns the cached) full evaluation.
+func (e *Env) Comparison() (*Comparison, error) {
+	e.mu.Lock()
+	if e.comp != nil {
+		defer e.mu.Unlock()
+		return e.comp, nil
+	}
+	e.mu.Unlock()
+
+	traces, err := e.Traces()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := core.NewObjective(e.Alpha, e.EvalPower, e.QoE)
+	if err != nil {
+		return nil, err
+	}
+	comp := &Comparison{}
+	for _, tr := range traces {
+		man, err := sim.ManifestForTrace(tr, e.Ladder)
+		if err != nil {
+			return nil, fmt.Errorf("eval: trace %d manifest: %w", tr.ID, err)
+		}
+		baseJ, err := sim.BaseEnergyJ(tr, man, e.EvalPower, e.QoE)
+		if err != nil {
+			return nil, fmt.Errorf("eval: trace %d base energy: %w", tr.ID, err)
+		}
+		bba, err := abr.NewBBA()
+		if err != nil {
+			return nil, err
+		}
+		tasks, err := core.ObserveTasks(tr, man, player.DefaultBufferThresholdSec, 6)
+		if err != nil {
+			return nil, fmt.Errorf("eval: trace %d tasks: %w", tr.ID, err)
+		}
+		plan, err := core.PlanOptimal(obj, e.Ladder, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("eval: trace %d plan: %w", tr.ID, err)
+		}
+		algs := []abr.Algorithm{
+			abr.NewYoutube(),
+			abr.NewFESTIVE(),
+			bba,
+			core.NewOnline(obj),
+			core.NewPlannedAlgorithm("Optimal", plan),
+		}
+		res := TraceResult{Trace: tr, BaseJ: baseJ, ByAlgorithm: make(map[string]*sim.Metrics, len(algs))}
+		for _, a := range algs {
+			m, err := sim.RunOnTrace(tr, man, a, e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
+			if err != nil {
+				return nil, fmt.Errorf("eval: trace %d %s: %w", tr.ID, a.Name(), err)
+			}
+			res.ByAlgorithm[a.Name()] = m
+		}
+		comp.Results = append(comp.Results, res)
+	}
+
+	e.mu.Lock()
+	e.comp = comp
+	e.mu.Unlock()
+	return comp, nil
+}
+
+// Savings aggregates one algorithm's average whole-phone and
+// extra-energy savings versus YouTube across the traces.
+func (c *Comparison) Savings(name string) (whole, extra float64) {
+	var n float64
+	for _, r := range c.Results {
+		yt := r.ByAlgorithm["Youtube"]
+		m := r.ByAlgorithm[name]
+		if yt == nil || m == nil {
+			continue
+		}
+		whole += 1 - m.TotalJ()/yt.TotalJ()
+		if ytExtra := yt.TotalJ() - r.BaseJ; ytExtra > 0 {
+			extra += 1 - m.ExtraJ(r.BaseJ)/ytExtra
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return whole / n, extra / n
+}
+
+// QoEDegradation aggregates one algorithm's average QoE loss versus
+// YouTube across the traces.
+func (c *Comparison) QoEDegradation(name string) float64 {
+	var sum, n float64
+	for _, r := range c.Results {
+		yt := r.ByAlgorithm["Youtube"]
+		m := r.ByAlgorithm[name]
+		if yt == nil || m == nil || yt.MeanQoE <= 0 {
+			continue
+		}
+		sum += 1 - m.MeanQoE/yt.MeanQoE
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// AverageQoE aggregates one algorithm's mean QoE across the traces.
+func (c *Comparison) AverageQoE(name string) float64 {
+	var sum, n float64
+	for _, r := range c.Results {
+		if m := r.ByAlgorithm[name]; m != nil {
+			sum += m.MeanQoE
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

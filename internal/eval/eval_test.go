@@ -1,0 +1,347 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedEnv caches the (expensive) comparison across tests in this
+// package.
+var sharedEnv = NewEnv()
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Caption: "demo",
+		Header:  []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note1"},
+	}
+	out := tbl.String()
+	for _, want := range []string{"== x: demo", "a", "bb", "333", "note: note1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 29 {
+		t.Errorf("registry has %d experiments, want 29", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, ex := range reg {
+		if ex.ID == "" || ex.Label == "" || ex.Run == nil {
+			t.Errorf("incomplete experiment %+v", ex)
+		}
+		if seen[ex.ID] {
+			t.Errorf("duplicate experiment id %q", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+	ex, err := Lookup("fig5a")
+	if err != nil || ex.ID != "fig5a" {
+		t.Errorf("Lookup(fig5a) = %+v, %v", ex, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// cell parses a numeric table cell (strips % suffix).
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig1aAnchors(t *testing.T) {
+	tbl, err := sharedEnv.Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (-90..-115 by 5)", len(tbl.Rows))
+	}
+	first := cell(t, tbl.Rows[0][1])
+	last := cell(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if first < 45 || first > 53 {
+		t.Errorf("energy at -90 = %v, want ≈ 49", first)
+	}
+	if last < 185 || last > 200 {
+		t.Errorf("energy at -115 = %v, want ≈ 193", last)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	tbl, err := sharedEnv.Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 ladder rungs", len(tbl.Rows))
+	}
+	// QoE room >= QoE vehicle at every bitrate; energy vehicle >= room.
+	for _, row := range tbl.Rows {
+		room, veh := cell(t, row[2]), cell(t, row[3])
+		if veh > room+1e-9 {
+			t.Errorf("vehicle QoE %v exceeds room %v at %s Mbps", veh, room, row[0])
+		}
+		eRoom, eVeh := cell(t, row[4]), cell(t, row[5])
+		if eVeh < eRoom-1e-9 {
+			t.Errorf("vehicle energy %v below room %v at %s Mbps", eVeh, eRoom, row[0])
+		}
+	}
+}
+
+func TestFig2aCatalogRows(t *testing.T) {
+	tbl, err := sharedEnv.Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Errorf("rows = %d, want 10 titles", len(tbl.Rows))
+	}
+}
+
+func TestFig2bFitRecoversCurve(t *testing.T) {
+	tbl, err := sharedEnv.Fig2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean ratings ascend with bitrate and the fit tracks them.
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		mean := cell(t, row[1])
+		fitted := cell(t, row[2])
+		if mean < prev-0.1 {
+			t.Errorf("mean ratings not ascending at %s Mbps", row[0])
+		}
+		if diff := mean - fitted; diff > 0.25 || diff < -0.25 {
+			t.Errorf("fit strays from ratings at %s Mbps: %v vs %v", row[0], fitted, mean)
+		}
+		prev = mean
+	}
+}
+
+func TestFig2cFitNearAnchors(t *testing.T) {
+	tbl, err := sharedEnv.Fig2c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want the 4 anchor cells", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		model := cell(t, row[2])
+		fitted := cell(t, row[3])
+		if diff := model - fitted; diff > 0.12 || diff < -0.12 {
+			t.Errorf("refitted impairment at (%s, %s) = %v, model %v", row[0], row[1], fitted, model)
+		}
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	tbl, err := sharedEnv.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "1080p" || tbl.Rows[5][0] != "144p" {
+		t.Errorf("Table II ordering wrong: %v", tbl.Rows)
+	}
+}
+
+func TestTable3RefitsCoefficients(t *testing.T) {
+	tbl, err := sharedEnv.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 coefficients", len(tbl.Rows))
+	}
+	// Curve parameters recover within 10%.
+	for _, row := range tbl.Rows[:2] {
+		truth := cell(t, row[1])
+		got := cell(t, row[2])
+		if truth == 0 {
+			continue
+		}
+		if rel := (got - truth) / truth; rel > 0.1 || rel < -0.1 {
+			t.Errorf("%s refit = %v, truth %v", row[0], got, truth)
+		}
+	}
+}
+
+func TestTable5MatchesTargets(t *testing.T) {
+	tbl, err := sharedEnv.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 traces", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		meas := cell(t, row[3])
+		want := cell(t, row[4])
+		if rel := (meas - want) / want; rel > 0.1 || rel < -0.1 {
+			t.Errorf("trace %s vibration %v strays from target %v", row[0], meas, want)
+		}
+	}
+}
+
+func TestTable6ErrorsUnder3Percent(t *testing.T) {
+	tbl, err := sharedEnv.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if e := cell(t, row[3]); e > 3 {
+			t.Errorf("validation error at %s Mbps = %v%%, want < 3%%", row[0], e)
+		}
+	}
+}
+
+func TestComparisonFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison is slow")
+	}
+	// Fig5a: Youtube column dominates Ours column.
+	fig5a, err := sharedEnv.Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5a.Rows) != 5 {
+		t.Fatalf("fig5a rows = %d, want 5", len(fig5a.Rows))
+	}
+	for _, row := range fig5a.Rows {
+		yt := cell(t, row[1])
+		ours := cell(t, row[4])
+		if ours >= yt {
+			t.Errorf("%s: Ours %v J >= Youtube %v J", row[0], ours, yt)
+		}
+	}
+
+	// Fig5b: Ours and Optimal save far more than FESTIVE and BBA.
+	fig5b, err := sharedEnv.Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := map[string]float64{}
+	for _, row := range fig5b.Rows {
+		saving[row[0]] = cell(t, row[1])
+	}
+	if saving["Ours"] < 30 {
+		t.Errorf("Ours saving = %v%%, want >= 30%%", saving["Ours"])
+	}
+	if saving["Ours"] <= saving["FESTIVE"]*2 {
+		t.Errorf("Ours (%v%%) should dwarf FESTIVE (%v%%)", saving["Ours"], saving["FESTIVE"])
+	}
+
+	// Fig6a/6b: Youtube has top QoE; trace 2 is everyone's best trace.
+	fig6a, err := sharedEnv.Fig6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 5; col++ {
+		trace2 := cell(t, fig6a.Rows[1][col])
+		for _, rowIdx := range []int{0, 2, 3, 4} {
+			if cell(t, fig6a.Rows[rowIdx][col]) > trace2+1e-9 {
+				t.Errorf("column %d: trace2 QoE not best", col)
+			}
+		}
+	}
+	fig6b, err := sharedEnv.Fig6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ytQ := cell(t, fig6b.Rows[0][1])
+	for _, row := range fig6b.Rows[1:] {
+		if cell(t, row[1]) > ytQ {
+			t.Errorf("%s QoE exceeds Youtube", row[0])
+		}
+	}
+
+	// Fig7: Ours ratio beats both baselines.
+	fig7, err := sharedEnv.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := map[string]float64{}
+	for _, row := range fig7.Rows {
+		ratio[row[0]] = cell(t, row[3])
+	}
+	if ratio["Ours"] <= ratio["FESTIVE"] || ratio["Ours"] <= ratio["BBA"] {
+		t.Errorf("Ours ratio %v must beat FESTIVE %v and BBA %v",
+			ratio["Ours"], ratio["FESTIVE"], ratio["BBA"])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations replay many sessions")
+	}
+	// Alpha sweep: saving rises with alpha, degradation rises too.
+	alpha, err := sharedEnv.AblationAlphaSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha.Rows) != 5 {
+		t.Fatalf("alpha rows = %d, want 5", len(alpha.Rows))
+	}
+	firstSave := cell(t, alpha.Rows[0][1])
+	lastSave := cell(t, alpha.Rows[len(alpha.Rows)-1][1])
+	if lastSave <= firstSave {
+		t.Errorf("saving should grow with alpha: %v -> %v", firstSave, lastSave)
+	}
+
+	// Context off: degradation should not improve, saving should not
+	// grow meaningfully (vibration discounts high bitrates).
+	ctx, err := sharedEnv.AblationNoContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Rows) != 4 {
+		t.Fatalf("context rows = %d, want 4", len(ctx.Rows))
+	}
+
+	// Gradual switching: both variants produce sane, distinct switch
+	// counts (gradual climbs one rung at a time, so it registers more
+	// but smaller switches in a stable channel).
+	grad, err := sharedEnv.AblationNoGradualSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradSw := cell(t, grad.Rows[0][3])
+	directSw := cell(t, grad.Rows[1][3])
+	if gradSw <= 0 {
+		t.Errorf("gradual variant reports no switches (%v)", gradSw)
+	}
+	if directSw < 0 {
+		t.Errorf("direct variant switch count negative (%v)", directSw)
+	}
+
+	est, err := sharedEnv.AblationEstimators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Rows) != 4 {
+		t.Fatalf("estimator rows = %d, want 4", len(est.Rows))
+	}
+
+	win, err := sharedEnv.AblationVibrationWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win.Rows) != 5 {
+		t.Fatalf("window rows = %d, want 5", len(win.Rows))
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment's report.
+type Runner func(*Env) (*Table, error)
+
+// Experiment pairs an identifier with its runner and a short label.
+type Experiment struct {
+	// ID is the registry key ("fig5a").
+	ID string
+	// Label describes the experiment for listings.
+	Label string
+	// Run produces the report.
+	Run Runner
+}
+
+// Registry returns every experiment, ordered as the paper presents
+// them (figures/tables first, then ablations).
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig1a", Label: "energy vs. signal strength (Fig. 1a)", Run: (*Env).Fig1a},
+		{ID: "fig1b", Label: "QoE/energy vs. bitrate per context (Fig. 1b)", Run: (*Env).Fig1b},
+		{ID: "fig2a", Label: "video SI/TI catalog (Fig. 2a)", Run: (*Env).Fig2a},
+		{ID: "fig2b", Label: "rate-quality curve fit (Fig. 2b)", Run: (*Env).Fig2b},
+		{ID: "fig2c", Label: "vibration impairment surface fit (Fig. 2c)", Run: (*Env).Fig2c},
+		{ID: "tab2", Label: "resolution/bitrate ladder (Table II)", Run: (*Env).Table2},
+		{ID: "tab3", Label: "QoE model coefficients (Table III)", Run: (*Env).Table3},
+		{ID: "tab5", Label: "evaluation traces (Table V)", Run: (*Env).Table5},
+		{ID: "tab6", Label: "power model validation (Table VI)", Run: (*Env).Table6},
+		{ID: "fig5a", Label: "energy per trace (Fig. 5a)", Run: (*Env).Fig5a},
+		{ID: "fig5b", Label: "energy saving vs. Youtube (Fig. 5b)", Run: (*Env).Fig5b},
+		{ID: "fig5c", Label: "base vs. extra energy, trace 1 (Fig. 5c)", Run: (*Env).Fig5c},
+		{ID: "fig6a", Label: "QoE per trace (Fig. 6a)", Run: (*Env).Fig6a},
+		{ID: "fig6b", Label: "average QoE (Fig. 6b)", Run: (*Env).Fig6b},
+		{ID: "fig6c", Label: "QoE degradation (Fig. 6c)", Run: (*Env).Fig6c},
+		{ID: "fig7", Label: "saving/degradation ratio (Fig. 7)", Run: (*Env).Fig7},
+		{ID: "abl-alpha", Label: "ablation: alpha sweep", Run: (*Env).AblationAlphaSweep},
+		{ID: "abl-context", Label: "ablation: context-awareness off", Run: (*Env).AblationNoContext},
+		{ID: "abl-gradual", Label: "ablation: gradual switching", Run: (*Env).AblationNoGradualSwitch},
+		{ID: "abl-estimator", Label: "ablation: bandwidth estimators", Run: (*Env).AblationEstimators},
+		{ID: "abl-window", Label: "ablation: vibration window", Run: (*Env).AblationVibrationWindow},
+		{ID: "abl-tail", Label: "ablation: LTE tail energy vs. pacing hysteresis", Run: (*Env).AblationTailEnergy},
+		{ID: "abl-abandon", Label: "ablation: buffer depth vs. wasted download under early quits", Run: (*Env).AblationAbandonment},
+		{ID: "abl-segdur", Label: "ablation: segment duration under a TCP ramp", Run: (*Env).AblationSegmentDuration},
+		{ID: "ext-baselines", Label: "extended comparison: BOLA and RobustMPC", Run: (*Env).ExtendedBaselines},
+		{ID: "ext-learned", Label: "extended comparison: tabular Q-learning agent", Run: (*Env).ExtendedLearned},
+		{ID: "ext-brightness", Label: "extended: joint rate-and-brightness adaptation", Run: (*Env).ExtendedBrightness},
+		{ID: "ext-fairness", Label: "extended: shared-bottleneck fairness", Run: (*Env).ExtendedFairness},
+		{ID: "ext-robustness", Label: "extended: headline savings across re-seeded campaigns", Run: (*Env).ExtendedRobustness},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, ex := range Registry() {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	ids := make([]string, 0, len(Registry()))
+	for _, ex := range Registry() {
+		ids = append(ids, ex.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q (known: %v)", id, ids)
+}

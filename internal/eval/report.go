@@ -1,0 +1,102 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (plus the ablations DESIGN.md calls out) as plain-text
+// reports. Each experiment has an identifier (fig5a, tab6, abl-alpha,
+// ...) resolvable through the Registry; cmd/experiments drives them
+// and bench_test.go wraps each in a testing.B benchmark.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a caption, a header row, data
+// rows, and free-form notes (typically the paper-vs-measured summary).
+type Table struct {
+	// ID is the experiment identifier ("fig5a").
+	ID string
+	// Caption describes the table or figure being reproduced.
+	Caption string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, row-major.
+	Rows [][]string
+	// Notes are appended after the table (expectations, deviations).
+	Notes []string
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	var rule []string
+	for _, width := range widths {
+		rule = append(rule, strings.Repeat("-", width))
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// f2 formats a float with two decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,229 @@
+package httpdash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/player"
+)
+
+// Client streams a DASH presentation over real HTTP, driving an
+// abr.Algorithm with measured per-segment throughputs. Playback is
+// virtual: wall-clock time is only spent downloading, and buffered
+// content "plays out" instantly once the buffer reaches the pacing
+// threshold — so a full session finishes in seconds while still
+// exercising the real network path, the manifest parsing, and the
+// adaptation loop.
+//
+// Construct with NewClient; the zero value is unusable.
+type Client struct {
+	baseURL    string
+	httpClient *http.Client
+	algorithm  abr.Algorithm
+	threshold  float64
+}
+
+// ClientOption customises the client.
+type ClientOption func(*Client)
+
+// WithHTTPClient overrides the default http.Client.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.httpClient = hc
+		}
+	}
+}
+
+// WithBufferThreshold overrides the 30 s pacing threshold.
+func WithBufferThreshold(sec float64) ClientOption {
+	return func(c *Client) {
+		if sec > 0 {
+			c.threshold = sec
+		}
+	}
+}
+
+// NewClient returns a streaming client for the presentation at
+// baseURL (serving /manifest.mpd), adapting with the given algorithm.
+func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("httpdash: empty base URL")
+	}
+	if alg == nil {
+		return nil, errors.New("httpdash: nil algorithm")
+	}
+	c := &Client{
+		baseURL:    baseURL,
+		httpClient: &http.Client{Timeout: 30 * time.Second},
+		algorithm:  alg,
+		threshold:  player.DefaultBufferThresholdSec,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Fetch records one segment download.
+type Fetch struct {
+	// Segment is the segment number.
+	Segment int
+	// Rung is the chosen ladder rung.
+	Rung int
+	// BitrateMbps is the rung's bitrate.
+	BitrateMbps float64
+	// Bytes is the payload size.
+	Bytes int64
+	// WallTime is the download duration.
+	WallTime time.Duration
+	// ThroughputMbps is the measured download rate.
+	ThroughputMbps float64
+}
+
+// Stats summarises a streamed session.
+type Stats struct {
+	// Fetches logs every segment download.
+	Fetches []Fetch
+	// TotalBytes is the summed payload.
+	TotalBytes int64
+	// MeanThroughputMbps is the byte-weighted mean download rate.
+	MeanThroughputMbps float64
+	// MeanBitrateMbps is the mean selected bitrate.
+	MeanBitrateMbps float64
+	// Switches counts rung changes.
+	Switches int
+	// StallSec is the virtual-playback stall time (download slower
+	// than drain while the buffer was empty).
+	StallSec float64
+}
+
+// Stream downloads the whole presentation. The context cancels the
+// session between segment fetches and aborts in-flight requests.
+func (c *Client) Stream(ctx context.Context) (*Stats, error) {
+	info, err := c.fetchManifest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.algorithm.Reset()
+
+	stats := &Stats{}
+	bufferSec := 0.0
+	prevRung := -1
+	var weighted, brSum float64
+
+	for seg := 0; seg < info.SegmentCount; seg++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("httpdash: cancelled at segment %d: %w", seg, err)
+		}
+		// Virtual pacing: once the buffer passes the threshold, play it
+		// down to just under the threshold instantly.
+		if bufferSec >= c.threshold {
+			bufferSec = c.threshold - info.SegmentSec
+		}
+
+		decision := abr.Context{
+			SegmentIndex:       seg,
+			Ladder:             info.Ladder,
+			SegmentDurationSec: info.SegmentSec,
+			PrevRung:           prevRung,
+			BufferSec:          bufferSec,
+			BufferThresholdSec: c.threshold,
+		}
+		rung, err := c.algorithm.ChooseRung(decision)
+		if err != nil {
+			return nil, fmt.Errorf("httpdash: segment %d decision: %w", seg, err)
+		}
+		if rung < 0 || rung >= len(info.Ladder) {
+			return nil, fmt.Errorf("httpdash: segment %d: rung %d out of range", seg, rung)
+		}
+
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", c.baseURL, info.RepIDs[rung], seg)
+		start := time.Now()
+		bytes, err := c.fetchSegment(ctx, url)
+		if err != nil {
+			return nil, fmt.Errorf("httpdash: segment %d: %w", seg, err)
+		}
+		wall := time.Since(start)
+		thMbps := float64(bytes) * 8 / 1e6 / wall.Seconds()
+		c.algorithm.ObserveDownload(thMbps)
+
+		// Virtual playback: the download consumed wall.Seconds() of
+		// play-out; stalls accrue when the buffer runs dry.
+		drained := wall.Seconds()
+		if drained > bufferSec {
+			stats.StallSec += drained - bufferSec
+			bufferSec = 0
+		} else {
+			bufferSec -= drained
+		}
+		bufferSec += info.SegmentSec
+
+		br := info.Ladder[rung].BitrateMbps
+		stats.Fetches = append(stats.Fetches, Fetch{
+			Segment:        seg,
+			Rung:           rung,
+			BitrateMbps:    br,
+			Bytes:          bytes,
+			WallTime:       wall,
+			ThroughputMbps: thMbps,
+		})
+		stats.TotalBytes += bytes
+		weighted += thMbps * float64(bytes)
+		brSum += br
+		if prevRung >= 0 && rung != prevRung {
+			stats.Switches++
+		}
+		prevRung = rung
+	}
+	if stats.TotalBytes > 0 {
+		stats.MeanThroughputMbps = weighted / float64(stats.TotalBytes)
+	}
+	if n := len(stats.Fetches); n > 0 {
+		stats.MeanBitrateMbps = brSum / float64(n)
+	}
+	return stats, nil
+}
+
+// fetchManifest GETs and parses /manifest.mpd.
+func (c *Client) fetchManifest(ctx context.Context) (info manifestInfo, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/manifest.mpd", nil)
+	if err != nil {
+		return info, fmt.Errorf("httpdash: build manifest request: %w", err)
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return info, fmt.Errorf("httpdash: fetch manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("httpdash: manifest status %s", resp.Status)
+	}
+	return parseManifest(resp.Body)
+}
+
+// fetchSegment GETs one media segment, discarding the payload.
+func (c *Client) fetchSegment(ctx context.Context, url string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("build request: %w", err)
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %s", resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("read body: %w", err)
+	}
+	return n, nil
+}

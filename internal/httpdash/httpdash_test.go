@@ -1,0 +1,260 @@
+package httpdash
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+)
+
+func testManifest(t *testing.T, durationSec float64) *dash.Manifest {
+	t.Helper()
+	video := dash.Video{Title: "http-test", SpatialInfo: 45, TemporalInfo: 15, DurationSec: durationSec}
+	m, err := dash.NewManifest(video, dash.TableIILadder(), dash.ManifestConfig{SegmentSec: 2, VBRJitter: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestServer(t *testing.T, durationSec float64, opts ...ServerOption) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServer(testManifest(t, durationSec), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil manifest accepted")
+	}
+}
+
+func TestServerManifestEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 20)
+	resp, err := http.Get(ts.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/dash+xml" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "urn:mpeg:dash:schema:mpd:2011") {
+		t.Error("manifest body does not look like an MPD")
+	}
+	// It parses back into usable info.
+	info, err := parseManifest(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SegmentCount != 10 || len(info.Ladder) != 6 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestServerSegmentEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, 20)
+	url, err := srv.SegmentURL(ts.URL, 3, 0) // 1.5 Mbps rung
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := testManifest(t, 20)
+	wantMB, err := man.SegmentSizeMB(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(n) / 1e6; got < wantMB*0.99 || got > wantMB*1.01 {
+		t.Errorf("segment bytes = %.3f MB, want ≈ %.3f MB", got, wantMB)
+	}
+	if srv.BytesSent() != n {
+		t.Errorf("BytesSent = %d, want %d", srv.BytesSent(), n)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	srv, ts := newTestServer(t, 20)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{path: "/nope", want: http.StatusNotFound},
+		{path: "/seg/bogus-rep/0.m4s", want: http.StatusNotFound},
+		{path: "/seg/v0-144p/999.m4s", want: http.StatusNotFound},
+		{path: "/seg/v0-144p/abc.m4s", want: http.StatusBadRequest},
+		{path: "/seg/v0-144p/0.mp4", want: http.StatusBadRequest},
+		{path: "/seg/onlyonepart", want: http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+	// Non-GET rejected.
+	resp, err := http.Post(ts.URL+"/manifest.mpd", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+	if _, err := srv.SegmentURL(ts.URL, 99, 0); err == nil {
+		t.Error("out-of-range rung accepted")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient("", abr.NewYoutube()); err == nil {
+		t.Error("empty URL accepted")
+	}
+	if _, err := NewClient("http://x", nil); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+}
+
+func TestClientStreamsWholePresentation(t *testing.T) {
+	_, ts := newTestServer(t, 20)
+	client, err := NewClient(ts.URL, abr.NewFESTIVE(), WithBufferThreshold(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fetches) != 10 {
+		t.Fatalf("fetched %d segments, want 10", len(stats.Fetches))
+	}
+	if stats.TotalBytes <= 0 {
+		t.Error("no payload downloaded")
+	}
+	// FESTIVE starts at the bottom rung and climbs on a fast loopback.
+	if stats.Fetches[0].Rung != 0 {
+		t.Errorf("first rung = %d, want 0", stats.Fetches[0].Rung)
+	}
+	last := stats.Fetches[len(stats.Fetches)-1]
+	if last.Rung <= stats.Fetches[0].Rung {
+		t.Error("FESTIVE never climbed on a fast link")
+	}
+	if stats.Switches == 0 {
+		t.Error("no switches recorded during the climb")
+	}
+	if stats.MeanThroughputMbps <= 0 || stats.MeanBitrateMbps <= 0 {
+		t.Errorf("degenerate means: %+v", stats)
+	}
+}
+
+func TestClientHonoursRateShaping(t *testing.T) {
+	// Shape to ~4 MB/s: measured throughput must be near it, not the
+	// multi-GB/s loopback rate.
+	_, ts := newTestServer(t, 8, WithRateLimitMBps(4))
+	client, err := NewClient(ts.URL, &abr.Fixed{Rung: 3}) // 1.5 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanThroughputMbps > 120 { // 4 MB/s = 32 Mbps; generous slack for chunk timing
+		t.Errorf("throughput %.1f Mbps ignores shaping", stats.MeanThroughputMbps)
+	}
+}
+
+func TestClientCancellation(t *testing.T) {
+	_, ts := newTestServer(t, 60, WithRateLimitMBps(0.5))
+	client, err := NewClient(ts.URL, abr.NewYoutube())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := client.Stream(ctx); err == nil {
+		t.Error("cancelled stream reported success")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client, err := NewClient("http://127.0.0.1:1", abr.NewYoutube(),
+		WithHTTPClient(&http.Client{Timeout: 200 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stream(context.Background()); err == nil {
+		t.Error("dead server reported success")
+	}
+}
+
+func TestServerRuntimeRateChange(t *testing.T) {
+	srv, ts := newTestServer(t, 8)
+	srv.SetRateLimitMBps(-5) // clamps to unshaped
+	client, err := NewClient(ts.URL, &abr.Fixed{Rung: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stream(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Any abr.Algorithm drops into the HTTP client unchanged — BOLA and
+// RobustMPC stream the same presentation FESTIVE does.
+func TestClientInterfaceParity(t *testing.T) {
+	_, ts := newTestServer(t, 12)
+	bola, err := abr.NewBOLA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpc, err := abr.NewMPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []abr.Algorithm{bola, mpc} {
+		client, err := NewClient(ts.URL, alg, WithBufferThreshold(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := client.Stream(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if len(stats.Fetches) != 6 {
+			t.Errorf("%s fetched %d segments, want 6", alg.Name(), len(stats.Fetches))
+		}
+	}
+}

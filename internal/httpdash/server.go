@@ -1,0 +1,188 @@
+// Package httpdash puts the DASH substrate on a real network: an
+// http.Handler that serves an MPD manifest and synthetic media
+// segments (with optional token-bucket rate shaping), and a streaming
+// client that fetches segments over HTTP, measures throughput, and
+// drives any abr.Algorithm — the same interface the simulator drives.
+// It is the integration layer that shows the library working over an
+// actual TCP/HTTP stack rather than the discrete-event simulator.
+package httpdash
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ecavs/internal/dash"
+)
+
+// Server serves one video: GET /manifest.mpd and
+// GET /seg/<repID>/<n>.m4s.
+//
+// Construct with NewServer; the zero value is unusable.
+type Server struct {
+	manifest *dash.Manifest
+	mpdXML   []byte
+	repIDs   []string // index-aligned with the ladder
+
+	mu        sync.Mutex
+	rateMBps  float64 // 0 = unshaped
+	bytesSent int64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// ServerOption customises the server.
+type ServerOption func(*Server)
+
+// WithRateLimitMBps shapes segment responses to the given rate
+// (token-bucket pacing in 64 KiB chunks). Zero disables shaping.
+func WithRateLimitMBps(mbps float64) ServerOption {
+	return func(s *Server) {
+		if mbps > 0 {
+			s.rateMBps = mbps
+		}
+	}
+}
+
+// NewServer builds the handler for a manifest.
+func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("httpdash: nil manifest")
+	}
+	mpd, err := dash.BuildMPD(m)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := dash.WriteMPD(&sb, mpd); err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(m.Ladder()))
+	for i, rep := range mpd.Period.AdaptationSet.Representations {
+		ids[i] = rep.ID
+	}
+	s := &Server{
+		manifest: m,
+		mpdXML:   []byte(sb.String()),
+		repIDs:   ids,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// SetRateLimitMBps changes the shaping rate at runtime (0 disables) —
+// handy for emulating network dips mid-session.
+func (s *Server) SetRateLimitMBps(mbps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mbps < 0 {
+		mbps = 0
+	}
+	s.rateMBps = mbps
+}
+
+// BytesSent reports the total segment payload served.
+func (s *Server) BytesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesSent
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch {
+	case r.URL.Path == "/manifest.mpd":
+		w.Header().Set("Content-Type", "application/dash+xml")
+		_, _ = w.Write(s.mpdXML)
+	case strings.HasPrefix(r.URL.Path, "/seg/"):
+		s.serveSegment(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// rungForRepID resolves a representation ID to its ladder index.
+func (s *Server) rungForRepID(id string) (int, bool) {
+	for i, known := range s.repIDs {
+		if known == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
+	// Path: /seg/<repID>/<n>.m4s
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/seg/"), "/")
+	if len(parts) != 2 || !strings.HasSuffix(parts[1], ".m4s") {
+		http.Error(w, "bad segment path", http.StatusBadRequest)
+		return
+	}
+	rung, ok := s.rungForRepID(parts[0])
+	if !ok {
+		http.Error(w, "unknown representation", http.StatusNotFound)
+		return
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(parts[1], ".m4s"))
+	if err != nil {
+		http.Error(w, "bad segment number", http.StatusBadRequest)
+		return
+	}
+	sizeMB, err := s.manifest.SegmentSizeMB(n, rung)
+	if err != nil {
+		http.Error(w, "no such segment", http.StatusNotFound)
+		return
+	}
+	size := int(sizeMB * 1e6)
+	if size < 1 {
+		size = 1
+	}
+	w.Header().Set("Content-Type", "video/iso.segment")
+	w.Header().Set("Content-Length", strconv.Itoa(size))
+
+	s.mu.Lock()
+	rate := s.rateMBps
+	s.mu.Unlock()
+
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte('0' + (i % 10)) // synthetic but non-trivial payload
+	}
+	remaining := size
+	for remaining > 0 {
+		n := chunk
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return // client went away
+		}
+		remaining -= n
+		s.mu.Lock()
+		s.bytesSent += int64(n)
+		s.mu.Unlock()
+		if rate > 0 {
+			time.Sleep(time.Duration(float64(n) / (rate * 1e6) * float64(time.Second)))
+		}
+	}
+}
+
+// SegmentURL renders the media URL for (rung, segment) the way the MPD
+// template describes.
+func (s *Server) SegmentURL(base string, rung, segment int) (string, error) {
+	if rung < 0 || rung >= len(s.repIDs) {
+		return "", fmt.Errorf("httpdash: rung %d out of range", rung)
+	}
+	return fmt.Sprintf("%s/seg/%s/%d.m4s", strings.TrimSuffix(base, "/"), s.repIDs[rung], segment), nil
+}

@@ -1,0 +1,153 @@
+package learn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateSpaceValidate(t *testing.T) {
+	if err := DefaultStateSpace(14).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultStateSpace(14)
+	bad.BufferBins = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero buffer bins accepted")
+	}
+	bad = DefaultStateSpace(14)
+	bad.BandwidthMinMbps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero min bandwidth accepted")
+	}
+	bad = DefaultStateSpace(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rungs accepted")
+	}
+}
+
+func TestStateSpaceSize(t *testing.T) {
+	s := DefaultStateSpace(14)
+	if got, want := s.Size(), 12*10*14; got != want {
+		t.Errorf("Size = %d, want %d", got, want)
+	}
+}
+
+// Encode always lands in range, regardless of inputs.
+func TestEncodeInRange(t *testing.T) {
+	s := DefaultStateSpace(14)
+	f := func(bufRaw int16, bwRaw int32, prev int8) bool {
+		buf := float64(bufRaw) / 10
+		bw := math.Abs(float64(bwRaw)) / 1000
+		idx := s.Encode(buf, bw, int(prev))
+		return idx >= 0 && idx < s.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeMonotoneInBuffer(t *testing.T) {
+	s := DefaultStateSpace(14)
+	// Buffer bins ascend with buffer level (same bw, prev).
+	prevIdx := -1
+	for buf := 0.0; buf <= 40; buf += 3 {
+		idx := s.Encode(buf, 10, 5)
+		if idx < prevIdx {
+			t.Fatalf("state index decreased at buffer %v", buf)
+		}
+		prevIdx = idx
+	}
+}
+
+func TestEncodeDistinguishesBandwidth(t *testing.T) {
+	s := DefaultStateSpace(14)
+	if s.Encode(10, 0.2, 5) == s.Encode(10, 50, 5) {
+		t.Error("0.2 and 50 Mbps map to the same state")
+	}
+}
+
+func TestQTableUpdateMath(t *testing.T) {
+	table, err := NewQTable(StateSpace{
+		BufferBins: 2, BufferMaxSec: 10,
+		BandwidthBins: 2, BandwidthMinMbps: 1, BandwidthMaxMbps: 10,
+		Rungs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One update from zero: Q(s,a) = lr * reward.
+	table.Update(0, 1, 3, 10, 0.5, 0.9)
+	if _, v := table.Best(0); v != 5 {
+		t.Errorf("Best value = %v, want 5", v)
+	}
+	if a, _ := table.Best(0); a != 1 {
+		t.Errorf("Best action = %v, want 1", a)
+	}
+	// Bootstrapping: value of next state feeds back.
+	table.Update(3, 0, 0, 0, 1.0, 0.9) // Q(3,0) = 0 + 0.9*5 = 4.5
+	if _, v := table.Best(3); math.Abs(v-4.5) > 1e-12 {
+		t.Errorf("bootstrapped value = %v, want 4.5", v)
+	}
+	if table.CoverageFraction() <= 0 {
+		t.Error("coverage not tracked")
+	}
+}
+
+func TestNewQTableRejectsBadSpace(t *testing.T) {
+	if _, err := NewQTable(StateSpace{}); err == nil {
+		t.Error("zero space accepted")
+	}
+}
+
+func TestRewardScore(t *testing.T) {
+	r := DefaultReward()
+	base := r.Score(3.0, 3.0, 0)
+	if base != 3.0 {
+		t.Errorf("steady reward = %v, want 3.0", base)
+	}
+	if got := r.Score(3.0, 3.0, 1); got >= base {
+		t.Error("stall did not reduce reward")
+	}
+	if got := r.Score(3.0, 1.5, 0); got >= base {
+		t.Error("switch did not reduce reward")
+	}
+}
+
+func TestHyperValidate(t *testing.T) {
+	if err := DefaultHyper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Hyper){
+		func(h *Hyper) { h.LearningRate = 0 },
+		func(h *Hyper) { h.LearningRate = 1.5 },
+		func(h *Hyper) { h.Gamma = 1 },
+		func(h *Hyper) { h.EpsilonStart = 2 },
+		func(h *Hyper) { h.EpsilonEnd = h.EpsilonStart + 0.1 },
+	}
+	for i, mut := range cases {
+		h := DefaultHyper()
+		mut(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: invalid hyper accepted", i)
+		}
+	}
+}
+
+func TestEpsilonScheduleDecays(t *testing.T) {
+	e := epsilonSchedule{start: 0.4, end: 0.0, steps: 4}
+	values := []float64{e.next(), e.next(), e.next(), e.next(), e.next(), e.next()}
+	for i := 1; i < len(values); i++ {
+		if values[i] > values[i-1]+1e-12 {
+			t.Fatalf("epsilon increased: %v", values)
+		}
+	}
+	if values[len(values)-1] != 0 {
+		t.Errorf("epsilon did not reach the floor: %v", values)
+	}
+	// Zero steps: constant at end.
+	z := epsilonSchedule{start: 0.4, end: 0.1, steps: 0}
+	if z.next() != 0.1 {
+		t.Error("zero-step schedule not pinned to end")
+	}
+}

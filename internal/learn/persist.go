@@ -1,0 +1,68 @@
+package learn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// tableDoc is the JSON persistence format for a trained table: the
+// state space (so a loaded table refuses mismatched ladders) plus the
+// action values.
+type tableDoc struct {
+	Space StateSpace  `json:"space"`
+	Q     [][]float64 `json:"q"`
+	Seen  []int       `json:"seen"`
+}
+
+// Save writes the table as JSON — train once, ship the policy.
+func (t *QTable) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tableDoc{Space: t.space, Q: t.q, Seen: t.seen})
+}
+
+// ErrCorruptTable is returned when a loaded table's shape is
+// inconsistent with its declared state space.
+var ErrCorruptTable = errors.New("learn: corrupt table document")
+
+// LoadTable reads a table saved by Save.
+func LoadTable(r io.Reader) (*QTable, error) {
+	var doc tableDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("learn: decode table: %w", err)
+	}
+	if err := doc.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(doc.Q) != doc.Space.Size() {
+		return nil, fmt.Errorf("%w: %d states for a %d-state space", ErrCorruptTable, len(doc.Q), doc.Space.Size())
+	}
+	for i, row := range doc.Q {
+		if len(row) != doc.Space.Rungs {
+			return nil, fmt.Errorf("%w: state %d has %d actions", ErrCorruptTable, i, len(row))
+		}
+	}
+	if doc.Seen == nil {
+		doc.Seen = make([]int, doc.Space.Size())
+	}
+	if len(doc.Seen) != doc.Space.Size() {
+		return nil, fmt.Errorf("%w: seen counter length %d", ErrCorruptTable, len(doc.Seen))
+	}
+	return &QTable{space: doc.Space, q: doc.Q, seen: doc.Seen}, nil
+}
+
+// NewFrozenAgent wraps a previously trained table as a greedy
+// evaluation-mode agent.
+func NewFrozenAgent(table *QTable, seed int64) (*Agent, error) {
+	if table == nil {
+		return nil, errors.New("learn: nil table")
+	}
+	agent, err := NewAgent(table.space, DefaultHyper(), DefaultReward(), seed)
+	if err != nil {
+		return nil, err
+	}
+	agent.table = table
+	agent.Freeze()
+	return agent, nil
+}

@@ -1,0 +1,235 @@
+package multisim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+)
+
+func testManifest(t *testing.T, durationSec float64, seed int64) *dash.Manifest {
+	t.Helper()
+	video := dash.Video{Title: "multi", SpatialInfo: 45, TemporalInfo: 15, DurationSec: durationSec}
+	m, err := dash.NewManifest(video, dash.TableIILadder(), dash.ManifestConfig{SegmentSec: 2, VBRJitter: 0, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func festiveClients(t *testing.T, n int, durationSec float64) []Client {
+	t.Helper()
+	out := make([]Client, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Client{
+			Name:      string(rune('A' + i)),
+			Manifest:  testManifest(t, durationSec, int64(i)),
+			Algorithm: abr.NewFESTIVE(),
+		})
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{CapacityMbps: 10}); !errors.Is(err, ErrNoClients) {
+		t.Errorf("err = %v, want ErrNoClients", err)
+	}
+	if _, err := Run(Config{Clients: festiveClients(t, 1, 20)}); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("err = %v, want ErrBadCapacity", err)
+	}
+	bad := Config{Clients: []Client{{Name: "x"}}, CapacityMbps: 10}
+	if _, err := Run(bad); err == nil {
+		t.Error("client without manifest accepted")
+	}
+}
+
+func TestSingleClientGetsFullCapacity(t *testing.T) {
+	res, err := Run(Config{
+		Clients:      festiveClients(t, 1, 60),
+		CapacityMbps: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Clients[0]
+	if len(c.Rungs) != 30 {
+		t.Fatalf("segments = %d, want 30", len(c.Rungs))
+	}
+	// Alone on a 20 Mbps link, FESTIVE climbs to the 5.8 rung.
+	last := c.Rungs[len(c.Rungs)-1]
+	if last != 5 {
+		t.Errorf("final rung = %d, want 5 (top)", last)
+	}
+	if res.JainFairness != 1 {
+		t.Errorf("single-client fairness = %v, want 1", res.JainFairness)
+	}
+	if c.RebufferSec > 0.5 {
+		t.Errorf("unexpected stalling: %v s", c.RebufferSec)
+	}
+}
+
+func TestThreeClientsShareFairly(t *testing.T) {
+	// 12 Mbps shared three ways: ~4 Mbps each; FESTIVE should settle
+	// around the 3.0 rung for everyone, with high Jain fairness.
+	res, err := Run(Config{
+		Clients:      festiveClients(t, 3, 120),
+		CapacityMbps: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JainFairness < 0.9 {
+		t.Errorf("Jain fairness = %.3f, want >= 0.9", res.JainFairness)
+	}
+	for _, c := range res.Clients {
+		if len(c.Rungs) != 60 {
+			t.Fatalf("client %s fetched %d segments, want 60", c.Name, len(c.Rungs))
+		}
+		if c.MeanBitrateMbps > 4.5 {
+			t.Errorf("client %s mean bitrate %.2f exceeds its fair share", c.Name, c.MeanBitrateMbps)
+		}
+		if c.MeanBitrateMbps < 1.0 {
+			t.Errorf("client %s starved at %.2f Mbps", c.Name, c.MeanBitrateMbps)
+		}
+	}
+}
+
+func TestStaggeredJoin(t *testing.T) {
+	clients := festiveClients(t, 2, 60)
+	clients[1].StartOffsetSec = 20
+	res, err := Run(Config{Clients: clients, CapacityMbps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clients {
+		if len(c.Rungs) != 30 {
+			t.Errorf("client %s fetched %d segments, want 30", c.Name, len(c.Rungs))
+		}
+	}
+}
+
+// Capacity conservation: total payload downloaded cannot exceed
+// capacity x duration.
+func TestCapacityConservation(t *testing.T) {
+	res, err := Run(Config{
+		Clients:      festiveClients(t, 3, 60),
+		CapacityMbps: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMB float64
+	for _, c := range res.Clients {
+		totalMB += c.DownloadedMB
+	}
+	budget := 8.0 / 8 * res.DurationSec
+	if totalMB > budget*1.01 {
+		t.Errorf("downloaded %.1f MB over a %.1f MB capacity budget", totalMB, budget)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := jain([]float64{2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	if got := jain([]float64{1, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("one-hog = %v, want 1/3", got)
+	}
+	if got := jain(nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := jain([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero = %v, want 1 (degenerate equality)", got)
+	}
+}
+
+// Both the damped (FESTIVE) and greedy (last-sample) policies must
+// complete a contended scenario with reasonable fairness; the per-step
+// even split keeps either from starving a peer.
+func TestPoliciesCompeteWithoutStarvation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		make func() abrAlg
+	}{
+		{name: "festive", make: func() abrAlg { return abr.NewFESTIVE() }},
+		{name: "greedy", make: func() abrAlg { return abr.NewRateBased() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Config{Clients: make3(t, tc.make), CapacityMbps: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.JainFairness < 0.85 {
+				t.Errorf("fairness = %.3f, want >= 0.85", res.JainFairness)
+			}
+			for _, c := range res.Clients {
+				if len(c.Rungs) != 60 {
+					t.Errorf("client %s fetched %d segments, want 60", c.Name, len(c.Rungs))
+				}
+			}
+		})
+	}
+}
+
+type abrAlg = abr.Algorithm
+
+func make3(t *testing.T, make func() abrAlg) []Client {
+	t.Helper()
+	out := make3manifests(t)
+	for i := range out {
+		out[i].Algorithm = make()
+	}
+	return out
+}
+
+func make3manifests(t *testing.T) []Client {
+	t.Helper()
+	out := make([]Client, 3)
+	for i := range out {
+		out[i] = Client{
+			Name:     string(rune('A' + i)),
+			Manifest: testManifest(t, 120, int64(i)),
+		}
+	}
+	return out
+}
+
+// Identical configurations produce identical results (the engine is
+// fully deterministic).
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{Clients: festiveClients(t, 2, 60), CapacityMbps: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.JainFairness != b.JainFairness || a.DurationSec != b.DurationSec {
+		t.Error("identical configs diverged")
+	}
+	for i := range a.Clients {
+		if a.Clients[i].MeanBitrateMbps != b.Clients[i].MeanBitrateMbps ||
+			a.Clients[i].Switches != b.Clients[i].Switches {
+			t.Errorf("client %d diverged", i)
+		}
+	}
+}
+
+// The engine terminates even when capacity is absurdly scarce (the
+// MaxSimSec bound kicks in rather than hanging).
+func TestRunTerminatesUnderStarvation(t *testing.T) {
+	res, err := Run(Config{
+		Clients:      festiveClients(t, 3, 30),
+		CapacityMbps: 0.05,
+		MaxSimSec:    200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurationSec > 200+1 {
+		t.Errorf("engine ran %v s past its bound", res.DurationSec)
+	}
+}

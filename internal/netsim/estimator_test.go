@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMeanEstimator(t *testing.T) {
+	e := NewHarmonicMeanEstimator(3)
+	if _, ok := e.Estimate(); ok {
+		t.Error("fresh estimator reported an estimate")
+	}
+	e.Push(1)
+	e.Push(4)
+	e.Push(4)
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("no estimate after pushes")
+	}
+	if !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Estimate = %v, want 2 (harmonic mean)", got)
+	}
+	// Window slides: pushing three more replaces all samples.
+	e.Push(8)
+	e.Push(8)
+	e.Push(8)
+	got, _ = e.Estimate()
+	if !almostEqual(got, 8, 1e-9) {
+		t.Errorf("Estimate after slide = %v, want 8", got)
+	}
+}
+
+func TestHarmonicMeanEstimatorOutageSample(t *testing.T) {
+	e := NewHarmonicMeanEstimator(5)
+	e.Push(10)
+	e.Push(0) // outage: recorded as tiny positive
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if got > 0.01 {
+		t.Errorf("Estimate with outage = %v, want near zero (conservative)", got)
+	}
+}
+
+func TestHarmonicMeanEstimatorReset(t *testing.T) {
+	e := NewHarmonicMeanEstimator(4)
+	e.Push(3)
+	e.Reset()
+	if _, ok := e.Estimate(); ok {
+		t.Error("estimate survived Reset")
+	}
+}
+
+// The harmonic-mean estimate is conservative: never above the
+// arithmetic mean of the window.
+func TestHarmonicEstimatorConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(n uint8) bool {
+		e := NewHarmonicMeanEstimator(20)
+		count := int(n%20) + 1
+		var sum float64
+		for i := 0; i < count; i++ {
+			x := rng.Float64()*20 + 0.1
+			sum += x
+			e.Push(x)
+		}
+		got, ok := e.Estimate()
+		return ok && got <= sum/float64(count)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAEstimator(t *testing.T) {
+	e := NewEWMAEstimator(0.5)
+	if _, ok := e.Estimate(); ok {
+		t.Error("fresh estimator reported an estimate")
+	}
+	e.Push(10)
+	e.Push(0)
+	got, ok := e.Estimate()
+	if !ok || !almostEqual(got, 5, 1e-9) {
+		t.Errorf("Estimate = %v (%v), want 5", got, ok)
+	}
+	e.Reset()
+	if _, ok := e.Estimate(); ok {
+		t.Error("estimate survived Reset")
+	}
+	e.Push(-3) // clamped to 0
+	got, _ = e.Estimate()
+	if got != 0 {
+		t.Errorf("negative push = %v, want 0", got)
+	}
+}
+
+func TestLastSampleEstimator(t *testing.T) {
+	e := NewLastSampleEstimator()
+	if _, ok := e.Estimate(); ok {
+		t.Error("fresh estimator reported an estimate")
+	}
+	e.Push(3)
+	e.Push(7)
+	got, ok := e.Estimate()
+	if !ok || got != 7 {
+		t.Errorf("Estimate = %v (%v), want 7", got, ok)
+	}
+	e.Reset()
+	if _, ok := e.Estimate(); ok {
+		t.Error("estimate survived Reset")
+	}
+}
+
+func TestEstimatorStrings(t *testing.T) {
+	for _, e := range []interface{ String() string }{
+		NewHarmonicMeanEstimator(20),
+		NewEWMAEstimator(0.3),
+		NewLastSampleEstimator(),
+	} {
+		if e.String() == "" {
+			t.Errorf("%T String returned empty", e)
+		}
+	}
+}

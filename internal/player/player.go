@@ -1,0 +1,139 @@
+// Package player models the DASH client's playback buffer: startup,
+// real-time draining across queued segments, stall (rebuffer)
+// accounting, and the buffer-threshold download pacing of the paper's
+// setup (downloads pause once beta = 30 s of content is buffered).
+package player
+
+import "errors"
+
+// DefaultBufferThresholdSec is the paper's buffer threshold beta.
+const DefaultBufferThresholdSec = 30.0
+
+// Queued is one buffered segment awaiting playback.
+type Queued struct {
+	// DurationSec is the segment's remaining playback time.
+	DurationSec float64
+	// BitrateMbps is the segment's encoded bitrate (used to attribute
+	// decode power while it plays).
+	BitrateMbps float64
+}
+
+// Played reports a contiguous stretch of playback at one bitrate,
+// returned by Drain so the caller can integrate decode power.
+type Played struct {
+	// DurationSec is how long this stretch played.
+	DurationSec float64
+	// BitrateMbps is the bitrate that was decoding.
+	BitrateMbps float64
+}
+
+// Player is the client buffer. The zero value is not usable; construct
+// with New.
+type Player struct {
+	thresholdSec float64
+	queue        []Queued
+	started      bool
+
+	playedSec  float64
+	stallSec   float64
+	startupSec float64
+}
+
+// ErrBadThreshold is returned for non-positive buffer thresholds.
+var ErrBadThreshold = errors.New("player: buffer threshold must be positive")
+
+// New returns a player that pauses downloads once the buffer exceeds
+// thresholdSec.
+func New(thresholdSec float64) (*Player, error) {
+	if thresholdSec <= 0 {
+		return nil, ErrBadThreshold
+	}
+	return &Player{thresholdSec: thresholdSec}, nil
+}
+
+// BufferSec returns the buffered playback time.
+func (p *Player) BufferSec() float64 {
+	var sum float64
+	for _, q := range p.queue {
+		sum += q.DurationSec
+	}
+	return sum
+}
+
+// ThresholdSec returns the download-pacing threshold.
+func (p *Player) ThresholdSec() float64 { return p.thresholdSec }
+
+// ShouldDownload reports whether the next segment download should
+// start now (buffer below the threshold).
+func (p *Player) ShouldDownload() bool { return p.BufferSec() < p.thresholdSec }
+
+// Started reports whether playback has begun (first segment arrived).
+func (p *Player) Started() bool { return p.started }
+
+// OnSegment enqueues a downloaded segment and starts playback if this
+// is the first one. Non-positive durations are ignored.
+func (p *Player) OnSegment(durationSec, bitrateMbps float64) {
+	if durationSec <= 0 {
+		return
+	}
+	p.queue = append(p.queue, Queued{DurationSec: durationSec, BitrateMbps: bitrateMbps})
+	p.started = true
+}
+
+// Drain advances playback by dt wall-clock seconds. It returns the
+// playback stretches consumed (for decode-power attribution) and the
+// stall time within dt. Time before the first segment arrives counts
+// as startup, not stall.
+func (p *Player) Drain(dt float64) (played []Played, stallSec float64) {
+	if dt <= 0 {
+		return nil, 0
+	}
+	if !p.started {
+		p.startupSec += dt
+		return nil, 0
+	}
+	remaining := dt
+	for remaining > 1e-12 && len(p.queue) > 0 {
+		q := &p.queue[0]
+		consume := q.DurationSec
+		if consume > remaining {
+			consume = remaining
+		}
+		q.DurationSec -= consume
+		remaining -= consume
+		p.playedSec += consume
+		if n := len(played); n > 0 && played[n-1].BitrateMbps == q.BitrateMbps {
+			played[n-1].DurationSec += consume
+		} else {
+			played = append(played, Played{DurationSec: consume, BitrateMbps: q.BitrateMbps})
+		}
+		if q.DurationSec <= 1e-12 {
+			p.queue = p.queue[1:]
+		}
+	}
+	if remaining > 1e-12 {
+		p.stallSec += remaining
+		stallSec = remaining
+	}
+	return played, stallSec
+}
+
+// FinishRemaining plays out whatever is buffered and returns the
+// stretches, leaving the buffer empty. Used after the last download.
+func (p *Player) FinishRemaining() []Played {
+	played, _ := p.Drain(p.BufferSec() + 1e-9)
+	// The epsilon overshoot must not register as a stall.
+	if p.stallSec > 0 && p.stallSec < 1e-6 {
+		p.stallSec = 0
+	}
+	return played
+}
+
+// PlayedSec returns total playback time so far.
+func (p *Player) PlayedSec() float64 { return p.playedSec }
+
+// StallSec returns total mid-stream stall time so far.
+func (p *Player) StallSec() float64 { return p.stallSec }
+
+// StartupSec returns time spent waiting for the first segment.
+func (p *Player) StartupSec() float64 { return p.startupSec }

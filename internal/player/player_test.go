@@ -1,0 +1,188 @@
+package player
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("err = %v, want ErrBadThreshold", err)
+	}
+	if _, err := New(-5); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("err = %v, want ErrBadThreshold", err)
+	}
+	p, err := New(DefaultBufferThresholdSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ThresholdSec() != 30 {
+		t.Errorf("ThresholdSec = %v, want 30", p.ThresholdSec())
+	}
+}
+
+func TestStartupAccounting(t *testing.T) {
+	p, _ := New(30)
+	if p.Started() {
+		t.Error("fresh player claims started")
+	}
+	played, stall := p.Drain(3)
+	if played != nil || stall != 0 {
+		t.Errorf("pre-start drain = %v, %v; want nil, 0", played, stall)
+	}
+	if p.StartupSec() != 3 {
+		t.Errorf("StartupSec = %v, want 3", p.StartupSec())
+	}
+	p.OnSegment(2, 1.5)
+	if !p.Started() {
+		t.Error("player did not start after first segment")
+	}
+	// Startup time does not count as stall.
+	if p.StallSec() != 0 {
+		t.Errorf("StallSec = %v, want 0", p.StallSec())
+	}
+}
+
+func TestDrainAcrossSegments(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(2, 1.5)
+	p.OnSegment(2, 3.0)
+	played, stall := p.Drain(3)
+	if stall != 0 {
+		t.Errorf("stall = %v, want 0", stall)
+	}
+	if len(played) != 2 {
+		t.Fatalf("played stretches = %d, want 2", len(played))
+	}
+	if played[0].BitrateMbps != 1.5 || !almostEqual(played[0].DurationSec, 2, 1e-9) {
+		t.Errorf("stretch 0 = %+v, want 2 s @ 1.5", played[0])
+	}
+	if played[1].BitrateMbps != 3.0 || !almostEqual(played[1].DurationSec, 1, 1e-9) {
+		t.Errorf("stretch 1 = %+v, want 1 s @ 3.0", played[1])
+	}
+	if !almostEqual(p.BufferSec(), 1, 1e-9) {
+		t.Errorf("BufferSec = %v, want 1", p.BufferSec())
+	}
+}
+
+func TestDrainMergesEqualBitrates(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(2, 1.5)
+	p.OnSegment(2, 1.5)
+	played, _ := p.Drain(4)
+	if len(played) != 1 {
+		t.Fatalf("played stretches = %d, want 1 (merged)", len(played))
+	}
+	if !almostEqual(played[0].DurationSec, 4, 1e-9) {
+		t.Errorf("merged duration = %v, want 4", played[0].DurationSec)
+	}
+}
+
+func TestStallWhenBufferEmpties(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(2, 1.5)
+	_, stall := p.Drain(5)
+	if !almostEqual(stall, 3, 1e-9) {
+		t.Errorf("stall = %v, want 3", stall)
+	}
+	if !almostEqual(p.StallSec(), 3, 1e-9) {
+		t.Errorf("StallSec = %v, want 3", p.StallSec())
+	}
+	if !almostEqual(p.PlayedSec(), 2, 1e-9) {
+		t.Errorf("PlayedSec = %v, want 2", p.PlayedSec())
+	}
+}
+
+func TestShouldDownloadThreshold(t *testing.T) {
+	p, _ := New(4)
+	if !p.ShouldDownload() {
+		t.Error("empty buffer should download")
+	}
+	p.OnSegment(2, 1)
+	if !p.ShouldDownload() {
+		t.Error("buffer below threshold should download")
+	}
+	p.OnSegment(2, 1)
+	if p.ShouldDownload() {
+		t.Error("buffer at threshold should pause downloads")
+	}
+	p.Drain(1)
+	if !p.ShouldDownload() {
+		t.Error("buffer drained below threshold should resume")
+	}
+}
+
+func TestOnSegmentIgnoresNonPositive(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(0, 1)
+	p.OnSegment(-2, 1)
+	if p.Started() || p.BufferSec() != 0 {
+		t.Error("non-positive segments were enqueued")
+	}
+}
+
+func TestDrainNonPositive(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(2, 1)
+	played, stall := p.Drain(0)
+	if played != nil || stall != 0 {
+		t.Error("Drain(0) did something")
+	}
+	played, stall = p.Drain(-1)
+	if played != nil || stall != 0 {
+		t.Error("Drain(-1) did something")
+	}
+}
+
+func TestFinishRemaining(t *testing.T) {
+	p, _ := New(30)
+	p.OnSegment(2, 1.5)
+	p.OnSegment(2, 3.0)
+	p.Drain(1)
+	played := p.FinishRemaining()
+	var total float64
+	for _, st := range played {
+		total += st.DurationSec
+	}
+	if !almostEqual(total, 3, 1e-6) {
+		t.Errorf("FinishRemaining played %v s, want 3", total)
+	}
+	if p.BufferSec() > 1e-9 {
+		t.Errorf("buffer not empty: %v", p.BufferSec())
+	}
+	if p.StallSec() != 0 {
+		t.Errorf("FinishRemaining registered stall: %v", p.StallSec())
+	}
+}
+
+// Conservation: enqueued duration = played + buffered, and stall only
+// accrues when the buffer is empty.
+func TestConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(opsRaw uint8) bool {
+		p, err := New(30)
+		if err != nil {
+			return false
+		}
+		ops := int(opsRaw%40) + 1
+		var enqueued float64
+		for i := 0; i < ops; i++ {
+			if rng.Float64() < 0.5 {
+				d := rng.Float64()*3 + 0.1
+				enqueued += d
+				p.OnSegment(d, 1.5)
+			} else {
+				p.Drain(rng.Float64() * 4)
+			}
+		}
+		return almostEqual(enqueued, p.PlayedSec()+p.BufferSec(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Monitor is a virtual Monsoon power monitor: it integrates
+// instantaneous power samples at a fixed rate, adding measurement noise
+// and a slow sinusoidal drift that models the thermal and
+// battery-voltage effects a real handset exhibits. It is the "measured
+// energy" side of the Table VI power-model validation.
+//
+// Construct with NewMonitor; the zero value is unusable.
+type Monitor struct {
+	sampleHz   float64
+	noiseStd   float64 // relative, per sample
+	driftAmp   float64 // relative amplitude of the slow drift
+	driftHz    float64
+	driftPhase float64
+	bias       float64 // per-run calibration bias (multiplicative)
+	rng        *rand.Rand
+
+	energyJ float64
+	elapsed float64
+}
+
+// MonitorConfig tunes the virtual monitor.
+type MonitorConfig struct {
+	// SampleHz is the sampling rate (default 100 Hz; Monsoon samples at
+	// 5 kHz but 100 Hz is ample for second-scale integration).
+	SampleHz float64
+	// NoiseStd is the relative standard deviation of per-sample
+	// measurement noise (default 0.01).
+	NoiseStd float64
+	// DriftAmp is the relative amplitude of the slow systematic drift
+	// (default 0.015).
+	DriftAmp float64
+	// DriftPeriodSec is the drift period (default 97 s — deliberately
+	// incommensurate with segment durations).
+	DriftPeriodSec float64
+	// BiasStd is the standard deviation of the per-run multiplicative
+	// calibration bias (default 0.012, clamped to +-2.5%) — the
+	// component that does NOT integrate out over a long session and so
+	// dominates the Table VI model-vs-measurement error.
+	BiasStd float64
+	// Seed seeds the noise generator.
+	Seed int64
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.SampleHz <= 0 {
+		c.SampleHz = 100
+	}
+	if c.NoiseStd < 0 {
+		c.NoiseStd = 0
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.01
+	}
+	if c.DriftAmp < 0 {
+		c.DriftAmp = 0
+	}
+	if c.DriftAmp == 0 {
+		c.DriftAmp = 0.015
+	}
+	if c.DriftPeriodSec <= 0 {
+		c.DriftPeriodSec = 97
+	}
+	if c.BiasStd < 0 {
+		c.BiasStd = 0
+	}
+	if c.BiasStd == 0 {
+		c.BiasStd = 0.012
+	}
+	return c
+}
+
+// NewMonitor returns a monitor with the given configuration.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bias := rng.NormFloat64() * cfg.BiasStd
+	if bias > 0.025 {
+		bias = 0.025
+	}
+	if bias < -0.025 {
+		bias = -0.025
+	}
+	return &Monitor{
+		sampleHz:   cfg.SampleHz,
+		noiseStd:   cfg.NoiseStd,
+		driftAmp:   cfg.DriftAmp,
+		driftHz:    1 / cfg.DriftPeriodSec,
+		driftPhase: rng.Float64() * 2 * math.Pi,
+		bias:       bias,
+		rng:        rng,
+	}
+}
+
+// ErrNegativeInterval is returned when Observe is given a negative
+// duration.
+var ErrNegativeInterval = errors.New("power: negative observation interval")
+
+// Observe integrates the given true power level over an interval,
+// sampling it at the monitor's rate with noise and drift applied.
+func (mo *Monitor) Observe(powerW, durationSec float64) error {
+	if durationSec < 0 {
+		return ErrNegativeInterval
+	}
+	if durationSec == 0 || powerW <= 0 {
+		mo.elapsed += durationSec
+		return nil
+	}
+	dt := 1 / mo.sampleHz
+	remaining := durationSec
+	for remaining > 0 {
+		step := dt
+		if remaining < step {
+			step = remaining
+		}
+		drift := 1 + mo.driftAmp*math.Sin(2*math.Pi*mo.driftHz*mo.elapsed+mo.driftPhase)
+		noise := 1 + mo.rng.NormFloat64()*mo.noiseStd
+		mo.energyJ += powerW * (1 + mo.bias) * drift * noise * step
+		mo.elapsed += step
+		remaining -= step
+	}
+	return nil
+}
+
+// EnergyJ returns the integrated ("measured") energy so far.
+func (mo *Monitor) EnergyJ() float64 { return mo.energyJ }
+
+// ElapsedSec returns the observed wall-clock time so far.
+func (mo *Monitor) ElapsedSec() float64 { return mo.elapsed }
+
+// Reset clears the accumulated energy and time (the drift phase and
+// noise stream continue).
+func (mo *Monitor) Reset() {
+	mo.energyJ = 0
+	mo.elapsed = 0
+}
+
+// MeasureSession plays the Table VI validation workload through the
+// monitor: a video of the given duration streamed at constant bitrate
+// and signal strength, downloading each segment in a burst at the
+// model's nominal link rate while playback continues. It returns the
+// "measured" energy.
+func (mo *Monitor) MeasureSession(m Model, bitrateMbps, sessionSec, signalDBm, segmentSec float64) (float64, error) {
+	if segmentSec <= 0 {
+		segmentSec = 2
+	}
+	if sessionSec <= 0 || bitrateMbps <= 0 {
+		return 0, errors.New("power: session duration and bitrate must be positive")
+	}
+	playW := m.PlaybackPowerW(bitrateMbps)
+	radioW := m.RadioPowerW(signalDBm)
+	segMB := bitrateMbps / 8 * segmentSec
+	dlSec := segMB / m.NominalThroughputMBps(signalDBm)
+
+	start := mo.energyJ
+	remaining := sessionSec
+	for remaining > 0 {
+		seg := segmentSec
+		if remaining < seg {
+			seg = remaining
+		}
+		burst := dlSec * seg / segmentSec
+		if burst > seg {
+			burst = seg
+		}
+		// Radio burst overlaps playback at the start of the segment.
+		if err := mo.Observe(playW+radioW, burst); err != nil {
+			return 0, err
+		}
+		if err := mo.Observe(playW, seg-burst); err != nil {
+			return 0, err
+		}
+		remaining -= seg
+	}
+	return mo.energyJ - start, nil
+}

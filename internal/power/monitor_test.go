@@ -1,0 +1,133 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMonitorIntegratesConstantPower(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Seed: 1})
+	if err := mo.Observe(2.0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// 2 W * 10 s = 20 J, within noise+drift (a few percent).
+	if relErr(mo.EnergyJ(), 20) > 0.05 {
+		t.Errorf("EnergyJ = %v, want ≈ 20", mo.EnergyJ())
+	}
+	if !almostEqual(mo.ElapsedSec(), 10, 1e-9) {
+		t.Errorf("ElapsedSec = %v, want 10", mo.ElapsedSec())
+	}
+}
+
+func TestMonitorZeroAndNegative(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Seed: 2})
+	if err := mo.Observe(2.0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mo.EnergyJ() != 0 {
+		t.Errorf("zero-duration energy = %v, want 0", mo.EnergyJ())
+	}
+	if err := mo.Observe(2.0, -1); !errors.Is(err, ErrNegativeInterval) {
+		t.Errorf("err = %v, want ErrNegativeInterval", err)
+	}
+	// Zero power advances time without energy.
+	if err := mo.Observe(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if mo.EnergyJ() != 0 || mo.ElapsedSec() != 5 {
+		t.Errorf("after zero-power observe: E=%v t=%v, want 0, 5", mo.EnergyJ(), mo.ElapsedSec())
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Seed: 3})
+	if err := mo.Observe(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mo.Reset()
+	if mo.EnergyJ() != 0 || mo.ElapsedSec() != 0 {
+		t.Error("Reset did not clear accumulators")
+	}
+}
+
+func TestMonitorDeterministicBySeed(t *testing.T) {
+	a := NewMonitor(MonitorConfig{Seed: 42})
+	b := NewMonitor(MonitorConfig{Seed: 42})
+	if err := a.Observe(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyJ() != b.EnergyJ() {
+		t.Errorf("monitors with equal seeds diverged: %v vs %v", a.EnergyJ(), b.EnergyJ())
+	}
+}
+
+// Table VI: the virtual monitor's "measured" energy stays within 3% of
+// the analytic model for every ladder bitrate (paper reports < 3%,
+// average 1.43%).
+func TestTable6ValidationErrorUnder3Percent(t *testing.T) {
+	m := Default()
+	const sessionSec = 300
+	var sumErr float64
+	rates := []float64{5.8, 3.0, 1.5, 0.75, 0.375, 0.1}
+	for i, r := range rates {
+		mo := NewMonitor(MonitorConfig{Seed: int64(100 + i)})
+		measured, err := mo.MeasureSession(m, r, sessionSec, -90, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calculated := m.SessionEnergyJ(r, sessionSec, -90)
+		e := relErr(measured, calculated)
+		if e > 0.03 {
+			t.Errorf("bitrate %.3f: measured %.1f vs calculated %.1f, error %.2f%% > 3%%",
+				r, measured, calculated, e*100)
+		}
+		sumErr += e
+	}
+	if avg := sumErr / float64(len(rates)); avg > 0.02 {
+		t.Errorf("average validation error %.2f%%, want <= 2%%", avg*100)
+	}
+}
+
+func TestMeasureSessionErrors(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Seed: 5})
+	if _, err := mo.MeasureSession(Default(), 0, 300, -90, 2); err == nil {
+		t.Error("expected error for zero bitrate")
+	}
+	if _, err := mo.MeasureSession(Default(), 1.5, 0, -90, 2); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}
+
+func TestMeasureSessionDefaultSegment(t *testing.T) {
+	mo := NewMonitor(MonitorConfig{Seed: 6})
+	// segmentSec <= 0 falls back to 2 s without error.
+	got, err := mo.MeasureSession(Default(), 1.5, 10, -90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || math.IsNaN(got) {
+		t.Errorf("measured energy = %v, want positive", got)
+	}
+}
+
+// A partial trailing segment must not inflate energy: a 9 s session at
+// 2 s segments ends with a 1 s segment whose burst is scaled down.
+func TestMeasureSessionPartialTrailingSegment(t *testing.T) {
+	m := Default()
+	mo := NewMonitor(MonitorConfig{Seed: 7, NoiseStd: 1e-9, DriftAmp: 1e-9, BiasStd: 1e-12})
+	got, err := mo.MeasureSession(m, 3.0, 9, -90, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SessionEnergyJ(3.0, 9, -90)
+	if relErr(got, want) > 0.01 {
+		t.Errorf("9 s session: measured %.2f vs analytic %.2f", got, want)
+	}
+	if !almostEqual(mo.ElapsedSec(), 9, 1e-6) {
+		t.Errorf("elapsed = %v, want 9", mo.ElapsedSec())
+	}
+}

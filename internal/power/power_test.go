@@ -1,0 +1,270 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// relErr returns |a-b| / |b|.
+func relErr(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Model)
+	}{
+		{name: "zero base", mut: func(m *Model) { m.BasePowerW = 0 }},
+		{name: "negative decode", mut: func(m *Model) { m.DecodeWPerMbps = -1 }},
+		{name: "zero radio", mut: func(m *Model) { m.RadioPowerAtRefW = 0 }},
+		{name: "zero energy/MB", mut: func(m *Model) { m.EnergyPerMBAtRefJ = 0 }},
+		{name: "inverted signal range", mut: func(m *Model) { m.MinSignalDBm = -80 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := Default()
+			tt.mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate accepted an invalid model")
+			}
+		})
+	}
+}
+
+// Fig. 1(a) endpoints: 100 MB costs ~49 J at -90 dBm and ~193 J at
+// -115 dBm.
+func TestFig1aEndpoints(t *testing.T) {
+	m := Default()
+	at90 := m.DownloadEnergyJ(100, -90)
+	at115 := m.DownloadEnergyJ(100, -115)
+	if !almostEqual(at90, 49, 0.5) {
+		t.Errorf("E(100MB, -90dBm) = %.1f J, want ≈ 49 J", at90)
+	}
+	if !almostEqual(at115, 193, 2) {
+		t.Errorf("E(100MB, -115dBm) = %.1f J, want ≈ 193 J", at115)
+	}
+}
+
+func TestEnergyPerMBMonotoneInWeakness(t *testing.T) {
+	m := Default()
+	prev := m.EnergyPerMBJ(-90)
+	for s := -91.0; s >= -120; s-- {
+		e := m.EnergyPerMBJ(s)
+		if e <= prev {
+			t.Fatalf("energy/MB not increasing at %v dBm", s)
+		}
+		prev = e
+	}
+}
+
+func TestSignalClamping(t *testing.T) {
+	m := Default()
+	if got, want := m.EnergyPerMBJ(-70), m.EnergyPerMBJ(-90); got != want {
+		t.Errorf("strong signal not clamped: %v != %v", got, want)
+	}
+	if got, want := m.EnergyPerMBJ(-140), m.EnergyPerMBJ(-120); got != want {
+		t.Errorf("weak signal not clamped: %v != %v", got, want)
+	}
+	if got, want := m.RadioPowerW(-60), m.RadioPowerW(-90); got != want {
+		t.Errorf("radio power not clamped: %v != %v", got, want)
+	}
+}
+
+func TestPlaybackPower(t *testing.T) {
+	m := Default()
+	if got := m.PlaybackPowerW(0); got != m.BasePowerW {
+		t.Errorf("playback at 0 Mbps = %v, want base %v", got, m.BasePowerW)
+	}
+	if got := m.PlaybackPowerW(-1); got != m.BasePowerW {
+		t.Errorf("negative bitrate = %v, want base", got)
+	}
+	hi := m.PlaybackPowerW(5.8)
+	lo := m.PlaybackPowerW(0.1)
+	if hi <= lo {
+		t.Errorf("playback power should increase with bitrate: %v <= %v", hi, lo)
+	}
+}
+
+func TestRadioPowerIncreasesAsSignalWeakens(t *testing.T) {
+	m := Default()
+	if m.RadioPowerW(-115) <= m.RadioPowerW(-90) {
+		t.Error("radio power should increase at weak signal")
+	}
+}
+
+func TestNominalThroughputDecreasesAsSignalWeakens(t *testing.T) {
+	m := Default()
+	prev := m.NominalThroughputMBps(-90)
+	for s := -92.0; s >= -118; s -= 2 {
+		th := m.NominalThroughputMBps(s)
+		if th >= prev {
+			t.Fatalf("throughput not decreasing at %v dBm", s)
+		}
+		prev = th
+	}
+	// Sanity: strong-signal LTE throughput is in a plausible range.
+	mbps := m.NominalThroughputMbps(-90)
+	if mbps < 10 || mbps > 100 {
+		t.Errorf("nominal throughput at -90 dBm = %.1f Mbps, want 10-100", mbps)
+	}
+}
+
+func TestDownloadEnergyZeroAndNegative(t *testing.T) {
+	m := Default()
+	if got := m.DownloadEnergyJ(0, -90); got != 0 {
+		t.Errorf("0 MB = %v, want 0", got)
+	}
+	if got := m.DownloadEnergyJ(-5, -90); got != 0 {
+		t.Errorf("-5 MB = %v, want 0", got)
+	}
+}
+
+// Download energy is additive in payload size.
+func TestDownloadEnergyAdditive(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint16, sRaw uint8) bool {
+		a := float64(aRaw%1000) / 10
+		b := float64(bRaw%1000) / 10
+		s := -90 - float64(sRaw%30)
+		sum := m.DownloadEnergyJ(a, s) + m.DownloadEnergyJ(b, s)
+		return almostEqual(sum, m.DownloadEnergyJ(a+b, s), 1e-9*math.Max(1, sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentEnergyNoRebuffer(t *testing.T) {
+	m := Default()
+	task := SegmentTask{
+		BitrateMbps: 3.0,
+		DurationSec: 2,
+		SignalDBm:   -90,
+		BufferSec:   30,
+	}
+	b := m.SegmentEnergy(task)
+	if b.RebufferSec != 0 || b.RebufferJ != 0 {
+		t.Errorf("unexpected rebuffering: %+v", b)
+	}
+	wantPlay := m.PlaybackPowerW(3.0) * 2
+	if !almostEqual(b.PlaybackJ, wantPlay, 1e-9) {
+		t.Errorf("PlaybackJ = %v, want %v", b.PlaybackJ, wantPlay)
+	}
+	// At nominal throughput, download energy equals size * energy/MB.
+	wantDl := m.DownloadEnergyJ(3.0/8*2, -90)
+	if !almostEqual(b.DownloadJ, wantDl, 1e-9) {
+		t.Errorf("DownloadJ = %v, want %v", b.DownloadJ, wantDl)
+	}
+	if !almostEqual(b.TotalJ(), b.PlaybackJ+b.DownloadJ, 1e-12) {
+		t.Errorf("TotalJ inconsistent: %v", b)
+	}
+}
+
+func TestSegmentEnergyRebufferBranch(t *testing.T) {
+	m := Default()
+	// Tiny throughput forces a long download against a small buffer.
+	task := SegmentTask{
+		BitrateMbps:    5.8,
+		DurationSec:    2,
+		SignalDBm:      -115,
+		ThroughputMBps: 0.1,
+		BufferSec:      4,
+	}
+	b := m.SegmentEnergy(task)
+	size := 5.8 / 8 * 2
+	wantStall := size/0.1 - 4
+	if !almostEqual(b.RebufferSec, wantStall, 1e-9) {
+		t.Errorf("RebufferSec = %v, want %v", b.RebufferSec, wantStall)
+	}
+	if !almostEqual(b.RebufferJ, m.RebufferPowerW*wantStall, 1e-9) {
+		t.Errorf("RebufferJ = %v, want %v", b.RebufferJ, m.RebufferPowerW*wantStall)
+	}
+}
+
+func TestSegmentEnergyExplicitSize(t *testing.T) {
+	m := Default()
+	b := m.SegmentEnergy(SegmentTask{
+		BitrateMbps: 1.5, DurationSec: 2, SizeMB: 1.0, SignalDBm: -100, BufferSec: 30,
+	})
+	// Explicit size should override the bitrate-derived size.
+	th := m.NominalThroughputMBps(-100)
+	wantDl := m.RadioPowerW(-100) * (1.0 / th)
+	if !almostEqual(b.DownloadJ, wantDl, 1e-9) {
+		t.Errorf("DownloadJ = %v, want %v", b.DownloadJ, wantDl)
+	}
+}
+
+func TestSegmentEnergyDegenerate(t *testing.T) {
+	m := Default()
+	if b := m.SegmentEnergy(SegmentTask{}); b.TotalJ() != 0 {
+		t.Errorf("zero task = %+v, want zero energy", b)
+	}
+	if b := m.SegmentEnergy(SegmentTask{BitrateMbps: -1, DurationSec: 2}); b.TotalJ() != 0 {
+		t.Errorf("negative bitrate = %+v, want zero energy", b)
+	}
+}
+
+// Higher bitrate at equal context never costs less energy.
+func TestSegmentEnergyMonotoneInBitrate(t *testing.T) {
+	m := Default()
+	f := func(rIdx, sRaw uint8) bool {
+		rates := []float64{0.1, 0.375, 0.75, 1.5, 3.0, 5.8}
+		r := rates[int(rIdx)%len(rates)]
+		s := -90 - float64(sRaw%30)
+		lo := m.SegmentEnergy(SegmentTask{BitrateMbps: r, DurationSec: 2, SignalDBm: s, BufferSec: 30})
+		hi := m.SegmentEnergy(SegmentTask{BitrateMbps: r * 1.5, DurationSec: 2, SignalDBm: s, BufferSec: 30})
+		return hi.TotalJ() >= lo.TotalJ()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Table VI "calculated" column: the analytic session energies for the
+// 300 s validation video at -90 dBm.
+func TestTable6CalculatedEnergies(t *testing.T) {
+	m := Default()
+	const sessionSec = 300
+	tests := []struct {
+		bitrate float64
+		paperJ  float64 // paper's "calculated energy" column
+	}{
+		{bitrate: 5.8, paperJ: 713.59},
+		{bitrate: 3.0, paperJ: 658.62},
+		{bitrate: 1.5, paperJ: 622.55},
+		{bitrate: 0.75, paperJ: 609.79},
+		{bitrate: 0.375, paperJ: 597.75},
+		{bitrate: 0.1, paperJ: 589.38},
+	}
+	for _, tt := range tests {
+		got := m.SessionEnergyJ(tt.bitrate, sessionSec, -90)
+		if relErr(got, tt.paperJ) > 0.015 {
+			t.Errorf("session energy at %.3f Mbps = %.1f J, want within 1.5%% of %.1f J",
+				tt.bitrate, got, tt.paperJ)
+		}
+	}
+}
+
+func TestSessionEnergyDegenerate(t *testing.T) {
+	m := Default()
+	if got := m.SessionEnergyJ(0, 300, -90); got != 0 {
+		t.Errorf("zero bitrate = %v, want 0", got)
+	}
+	if got := m.SessionEnergyJ(1.5, 0, -90); got != 0 {
+		t.Errorf("zero duration = %v, want 0", got)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Default().String() == "" {
+		t.Error("String returned empty")
+	}
+}

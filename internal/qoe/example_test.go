@@ -1,0 +1,39 @@
+package qoe_test
+
+import (
+	"fmt"
+
+	"ecavs/internal/qoe"
+)
+
+// The rate-quality curve saturates: going from 480p to 1080p buys far
+// less quality than going from 144p to 480p.
+func ExampleModel_OriginalQuality() {
+	m := qoe.Default()
+	fmt.Printf("Q0(0.1)  = %.2f\n", m.OriginalQuality(0.1))
+	fmt.Printf("Q0(1.5)  = %.2f\n", m.OriginalQuality(1.5))
+	fmt.Printf("Q0(5.8)  = %.2f\n", m.OriginalQuality(5.8))
+	// Output:
+	// Q0(0.1)  = 1.42
+	// Q0(1.5)  = 3.65
+	// Q0(5.8)  = 4.55
+}
+
+// Vibration impairs high bitrates the most — the reason streaming 1080p
+// on a bus wastes energy.
+func ExampleModel_Impairment() {
+	m := qoe.Default()
+	fmt.Printf("I(1.5, 6) = %.3f\n", m.Impairment(1.5, 6))
+	fmt.Printf("I(5.8, 6) = %.3f\n", m.Impairment(5.8, 6))
+	// Output:
+	// I(1.5, 6) = 0.184
+	// I(5.8, 6) = 0.549
+}
+
+// The paper converts nine-grade ITU-T P.910 ratings to the five-level
+// scale with an affine map.
+func ExampleScale9To5() {
+	fmt.Printf("%.1f %.1f %.1f\n", qoe.Scale9To5(1), qoe.Scale9To5(5), qoe.Scale9To5(9))
+	// Output:
+	// 1.0 3.0 5.0
+}

@@ -1,0 +1,108 @@
+package qoe
+
+import (
+	"errors"
+	"math"
+)
+
+// SessionModel aggregates per-segment QoE values into a single session
+// score the way parametric standards (e.g. ITU-T P.1203) do: a
+// recency-weighted mean (viewers remember the end of a session more
+// than its middle), a penalty for the initial join delay, and a
+// penalty for the variance of segment quality (oscillation annoys even
+// when the mean is fine).
+type SessionModel struct {
+	// RecencyHalfLifeSec controls the exponential recency weighting:
+	// a segment this far from the session end carries half the weight
+	// of the final segment. Zero disables recency weighting.
+	RecencyHalfLifeSec float64
+	// StartupPenaltyPerSec is the score loss per second of join delay.
+	StartupPenaltyPerSec float64
+	// MaxStartupPenalty caps the join-delay loss.
+	MaxStartupPenalty float64
+	// OscillationPenalty scales the per-segment quality standard
+	// deviation's contribution.
+	OscillationPenalty float64
+}
+
+// DefaultSession returns a session model with standard-flavoured
+// weights.
+func DefaultSession() SessionModel {
+	return SessionModel{
+		RecencyHalfLifeSec:   60,
+		StartupPenaltyPerSec: 0.1,
+		MaxStartupPenalty:    0.5,
+		OscillationPenalty:   0.3,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (s SessionModel) Validate() error {
+	if s.RecencyHalfLifeSec < 0 || s.StartupPenaltyPerSec < 0 ||
+		s.MaxStartupPenalty < 0 || s.OscillationPenalty < 0 {
+		return errors.New("qoe: session weights must be non-negative")
+	}
+	return nil
+}
+
+// SegmentScore is one segment's QoE with its playback position.
+type SegmentScore struct {
+	// StartSec is the segment's position in the session.
+	StartSec float64
+	// QoE is the segment's Eq. 1 quality.
+	QoE float64
+}
+
+// ErrNoSegments is returned when scoring an empty session.
+var ErrNoSegments = errors.New("qoe: no segments to score")
+
+// Score aggregates segment scores plus the startup delay into a
+// session MOS on the five-level scale.
+func (s SessionModel) Score(segments []SegmentScore, startupSec float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if len(segments) == 0 {
+		return 0, ErrNoSegments
+	}
+	end := segments[len(segments)-1].StartSec
+
+	var wSum, qSum float64
+	for _, seg := range segments {
+		w := 1.0
+		if s.RecencyHalfLifeSec > 0 {
+			age := end - seg.StartSec
+			w = math.Exp2(-age / s.RecencyHalfLifeSec)
+		}
+		wSum += w
+		qSum += w * seg.QoE
+	}
+	mean := qSum / wSum
+
+	// Oscillation: plain (unweighted) standard deviation of quality.
+	var varSum float64
+	var plainMean float64
+	for _, seg := range segments {
+		plainMean += seg.QoE
+	}
+	plainMean /= float64(len(segments))
+	for _, seg := range segments {
+		d := seg.QoE - plainMean
+		varSum += d * d
+	}
+	osc := math.Sqrt(varSum / float64(len(segments)))
+
+	startupLoss := s.StartupPenaltyPerSec * startupSec
+	if startupLoss > s.MaxStartupPenalty {
+		startupLoss = s.MaxStartupPenalty
+	}
+
+	score := mean - s.OscillationPenalty*osc - startupLoss
+	if score < MinQuality {
+		return MinQuality, nil
+	}
+	if score > MaxQuality {
+		return MaxQuality, nil
+	}
+	return score, nil
+}

@@ -1,0 +1,146 @@
+package qoe
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func flatSession(q float64, n int) []SegmentScore {
+	out := make([]SegmentScore, n)
+	for i := range out {
+		out[i] = SegmentScore{StartSec: float64(i) * 2, QoE: q}
+	}
+	return out
+}
+
+func TestDefaultSessionValidates(t *testing.T) {
+	if err := DefaultSession().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultSession()
+	bad.OscillationPenalty = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := bad.Score(flatSession(4, 3), 0); err == nil {
+		t.Error("Score accepted invalid model")
+	}
+}
+
+func TestScoreEmptySession(t *testing.T) {
+	if _, err := DefaultSession().Score(nil, 0); !errors.Is(err, ErrNoSegments) {
+		t.Errorf("err = %v, want ErrNoSegments", err)
+	}
+}
+
+func TestScoreFlatSessionIsItsQuality(t *testing.T) {
+	m := DefaultSession()
+	got, err := m.Score(flatSession(3.8, 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 3.8, 1e-9) {
+		t.Errorf("flat session score = %v, want 3.8 (no penalties apply)", got)
+	}
+}
+
+func TestScoreStartupPenalty(t *testing.T) {
+	m := DefaultSession()
+	base, err := m.Score(flatSession(4, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := m.Score(flatSession(4, 10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed >= base {
+		t.Error("startup delay did not reduce the score")
+	}
+	// Cap: a huge delay costs no more than MaxStartupPenalty.
+	capped, err := m.Score(flatSession(4, 10), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base-capped > m.MaxStartupPenalty+1e-9 {
+		t.Errorf("startup loss %v exceeds the cap %v", base-capped, m.MaxStartupPenalty)
+	}
+}
+
+func TestScoreOscillationPenalty(t *testing.T) {
+	m := DefaultSession()
+	m.RecencyHalfLifeSec = 0 // isolate the oscillation term
+	flat, err := m.Score(flatSession(3.5, 40), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wobble := flatSession(3.5, 40)
+	for i := range wobble {
+		if i%2 == 0 {
+			wobble[i].QoE = 4.0
+		} else {
+			wobble[i].QoE = 3.0
+		}
+	}
+	wobbly, err := m.Score(wobble, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wobbly >= flat {
+		t.Errorf("oscillating session scored %v >= flat %v", wobbly, flat)
+	}
+}
+
+func TestScoreRecencyWeighting(t *testing.T) {
+	m := DefaultSession()
+	// Bad start, good end vs good start, bad end: the strong-finish
+	// session must score higher.
+	n := 60
+	badStart := make([]SegmentScore, n)
+	badEnd := make([]SegmentScore, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * 2
+		lowFirst, highLast := 2.0, 4.5
+		if i >= n/2 {
+			badStart[i] = SegmentScore{StartSec: t, QoE: highLast}
+			badEnd[i] = SegmentScore{StartSec: t, QoE: lowFirst}
+		} else {
+			badStart[i] = SegmentScore{StartSec: t, QoE: lowFirst}
+			badEnd[i] = SegmentScore{StartSec: t, QoE: highLast}
+		}
+	}
+	strongFinish, err := m.Score(badStart, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakFinish, err := m.Score(badEnd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strongFinish <= weakFinish {
+		t.Errorf("strong finish %v should beat weak finish %v", strongFinish, weakFinish)
+	}
+}
+
+// The session score always stays on the five-level scale.
+func TestScoreBounded(t *testing.T) {
+	m := DefaultSession()
+	f := func(qRaw, startupRaw uint8) bool {
+		q := 1 + float64(qRaw%40)/10 // 1..5
+		segs := flatSession(q, 20)
+		// Alternate wildly to maximise oscillation.
+		for i := range segs {
+			if i%2 == 0 {
+				segs[i].QoE = MaxQuality
+			} else {
+				segs[i].QoE = MinQuality
+			}
+		}
+		got, err := m.Score(segs, float64(startupRaw))
+		return err == nil && got >= MinQuality && got <= MaxQuality
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

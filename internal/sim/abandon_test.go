@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ecavs/internal/abr"
+)
+
+func TestAbandonmentEndsSessionEarly(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	cfg.Manifest = testManifest(t, 120)
+	cfg.AbandonAtSec = 30
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Abandoned {
+		t.Fatal("session not marked abandoned")
+	}
+	// Far fewer than the 60 segments were fetched.
+	if len(m.Segments) >= 60 {
+		t.Errorf("fetched %d segments despite quitting at 30 s", len(m.Segments))
+	}
+	// The whole remaining buffer is wasted payload.
+	if m.WastedMB <= 0 {
+		t.Error("no wasted payload recorded")
+	}
+	if m.WastedMB > m.DownloadedMB {
+		t.Errorf("WastedMB %v exceeds DownloadedMB %v", m.WastedMB, m.DownloadedMB)
+	}
+}
+
+func TestNoAbandonmentNoWaste(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Abandoned || m.WastedMB != 0 {
+		t.Errorf("unabandoned session reports Abandoned=%v WastedMB=%v", m.Abandoned, m.WastedMB)
+	}
+}
+
+func TestAbandonmentAfterEndIsNoOp(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	cfg.AbandonAtSec = 10_000 // beyond the video
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Abandoned {
+		t.Error("session marked abandoned past its end")
+	}
+	if len(m.Segments) != 30 {
+		t.Errorf("segments = %d, want all 30", len(m.Segments))
+	}
+}
+
+// Deeper prefetch buffers waste more energy under early quits: the
+// trade-off that motivates user-aware prefetching (Hu & Cao 2015).
+func TestDeeperBuffersWasteMoreOnAbandonment(t *testing.T) {
+	run := func(threshold float64) *Metrics {
+		link := &fixedLink{signal: -100, rate: 10}
+		cfg := baseConfig(t, abr.NewYoutube(), link)
+		cfg.Manifest = testManifest(t, 300)
+		cfg.BufferThresholdSec = threshold
+		cfg.AbandonAtSec = 60
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	shallow := run(10)
+	deep := run(60)
+	if deep.WastedMB <= shallow.WastedMB {
+		t.Errorf("deep buffer wasted %.2f MB, shallow %.2f MB; expected deep > shallow",
+			deep.WastedMB, shallow.WastedMB)
+	}
+	// Wasted payload should be roughly the buffer depth's worth of
+	// content (threshold seconds at 5.8 Mbps x complexity).
+	video := testManifest(t, 300).Video()
+	approxDeep := 5.8 / 8 * 60 * video.Complexity()
+	if math.Abs(deep.WastedMB-approxDeep)/approxDeep > 0.25 {
+		t.Errorf("deep WastedMB = %.2f, want ≈ %.2f", deep.WastedMB, approxDeep)
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/power"
+)
+
+func rrcConfig(t *testing.T) Config {
+	t.Helper()
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	rrc := power.DefaultRRC()
+	cfg.RRC = &rrc
+	return cfg
+}
+
+func TestRunWithRRCAccountsControlEnergy(t *testing.T) {
+	cfg := rrcConfig(t)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RadioCtlJ <= 0 {
+		t.Fatal("RRC enabled but RadioCtlJ is zero")
+	}
+	// Total includes the control energy.
+	if m.TotalJ() <= m.PlaybackJ+m.DownloadJ {
+		t.Error("TotalJ does not include radio-control energy")
+	}
+}
+
+func TestRunWithoutRRCHasNoControlEnergy(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RadioCtlJ != 0 {
+		t.Errorf("RadioCtlJ = %v without RRC, want 0", m.RadioCtlJ)
+	}
+}
+
+func TestRunRejectsInvalidRRC(t *testing.T) {
+	cfg := rrcConfig(t)
+	cfg.RRC.TailTimerSec = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid RRC config accepted")
+	}
+}
+
+func TestRunRejectsBadHysteresis(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 10}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	cfg.BufferThresholdSec = 10
+	cfg.ResumeThresholdSec = 20
+	if _, err := Run(cfg); err == nil {
+		t.Error("resume threshold above buffer threshold accepted")
+	}
+}
+
+// Hysteresis creates longer idle stretches, so with the tail-energy
+// model on, bursty downloading (pause at 30 s, resume at 10 s) spends
+// less radio-control energy than continuous trickling.
+func TestHysteresisReducesTailEnergy(t *testing.T) {
+	run := func(resume float64) *Metrics {
+		link := &fixedLink{signal: -90, rate: 10}
+		cfg := baseConfig(t, abr.NewYoutube(), link)
+		cfg.Manifest = testManifest(t, 120)
+		rrc := power.DefaultRRC()
+		cfg.RRC = &rrc
+		cfg.BufferThresholdSec = 30
+		cfg.ResumeThresholdSec = resume
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	trickle := run(0) // resume == threshold: radio never rests long
+	burst := run(8)   // deep drain between bursts
+	if burst.RadioCtlJ >= trickle.RadioCtlJ {
+		t.Errorf("bursty RadioCtlJ %.1f should undercut trickle %.1f",
+			burst.RadioCtlJ, trickle.RadioCtlJ)
+	}
+	// Same content downloaded either way.
+	if diff := burst.DownloadedMB - trickle.DownloadedMB; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("downloaded payload differs: %v vs %v", burst.DownloadedMB, trickle.DownloadedMB)
+	}
+	// And no stalls introduced by the deeper drain.
+	if burst.RebufferSec > 0 {
+		t.Errorf("hysteresis caused %v s of stalls", burst.RebufferSec)
+	}
+}
+
+func TestHysteresisDelaysDownloads(t *testing.T) {
+	link := &fixedLink{signal: -90, rate: 50}
+	cfg := baseConfig(t, abr.NewYoutube(), link)
+	cfg.Manifest = testManifest(t, 60)
+	cfg.BufferThresholdSec = 20
+	cfg.ResumeThresholdSec = 5
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// There must exist a gap >= (20-5)-ish seconds between some
+	// consecutive downloads (the drain from threshold to resume).
+	var maxGap float64
+	for i := 1; i < len(m.Segments); i++ {
+		if gap := m.Segments[i].StartSec - m.Segments[i-1].StartSec; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap < 10 {
+		t.Errorf("max inter-download gap = %.1f s, want >= 10 (hysteresis drain)", maxGap)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+	"ecavs/internal/player"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+	"ecavs/internal/trace"
+	"ecavs/internal/vibration"
+)
+
+// TraceSession configures a trace replay with the less-common knobs
+// the ablation experiments need.
+type TraceSession struct {
+	// Trace supplies the link and accelerometer streams.
+	Trace *trace.Trace
+	// Manifest is the video being streamed.
+	Manifest *dash.Manifest
+	// Algorithm selects bitrates; it is Reset before the run.
+	Algorithm abr.Algorithm
+	// Power and QoE are the models.
+	Power power.Model
+	QoE   qoe.Model
+	// ThresholdSec is the buffer threshold beta (default 30 s).
+	ThresholdSec float64
+	// VibrationWindowSec is the online estimation window (default
+	// vibration.DefaultWindowSec).
+	VibrationWindowSec float64
+	// ForceVibration, when non-nil, overrides the sensed vibration with
+	// a constant — the context-awareness-off ablation.
+	ForceVibration *float64
+	// ResumeThresholdSec adds download-pacing hysteresis (see
+	// Config.ResumeThresholdSec).
+	ResumeThresholdSec float64
+	// RRC, when non-nil, enables the LTE radio-state machine (see
+	// Config.RRC).
+	RRC *power.RRCConfig
+}
+
+// Run replays the session.
+func (s TraceSession) Run() (*Metrics, error) {
+	if s.Trace == nil {
+		return nil, errors.New("sim: nil trace")
+	}
+	if err := s.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	link, err := s.Trace.Link()
+	if err != nil {
+		return nil, err
+	}
+	if s.Algorithm != nil {
+		s.Algorithm.Reset()
+	}
+	window := s.VibrationWindowSec
+	if window <= 0 {
+		window = vibration.DefaultWindowSec
+	}
+	vibAt := func(t float64) float64 { return s.Trace.VibrationAt(t, window) }
+	if s.ForceVibration != nil {
+		v := *s.ForceVibration
+		vibAt = func(float64) float64 { return v }
+	}
+	return Run(Config{
+		Manifest:           s.Manifest,
+		Link:               link,
+		VibrationAt:        vibAt,
+		Algorithm:          s.Algorithm,
+		Power:              s.Power,
+		QoE:                s.QoE,
+		BufferThresholdSec: s.ThresholdSec,
+		ResumeThresholdSec: s.ResumeThresholdSec,
+		RRC:                s.RRC,
+	})
+}
+
+// RunOnTrace replays a recorded trace through Run: the link comes from
+// the trace's network points and the vibration signal from its
+// accelerometer stream, windowed the way the online estimator would
+// see it (Section IV-B).
+func RunOnTrace(tr *trace.Trace, m *dash.Manifest, alg abr.Algorithm, pm power.Model, qm qoe.Model, thresholdSec float64) (*Metrics, error) {
+	return TraceSession{
+		Trace:        tr,
+		Manifest:     m,
+		Algorithm:    alg,
+		Power:        pm,
+		QoE:          qm,
+		ThresholdSec: thresholdSec,
+	}.Run()
+}
+
+// ManifestForTrace builds the manifest of the video a trace's session
+// watched: duration from the trace, mid-complexity content, seeded by
+// the trace ID so sessions are reproducible.
+func ManifestForTrace(tr *trace.Trace, ladder dash.Ladder) (*dash.Manifest, error) {
+	if tr == nil {
+		return nil, errors.New("sim: nil trace")
+	}
+	video := dash.Video{
+		Title:        tr.Name,
+		Genre:        "trace session",
+		SpatialInfo:  45,
+		TemporalInfo: 15,
+		DurationSec:  tr.LengthSec,
+	}
+	return dash.NewManifest(video, ladder, dash.ManifestConfig{Seed: int64(1000 + tr.ID)})
+}
+
+// BaseEnergyJ returns the Section V-B base energy of a trace session:
+// the total energy when every segment is fetched at the ladder's
+// lowest rung (screen + transfer + decode minimum).
+func BaseEnergyJ(tr *trace.Trace, m *dash.Manifest, pm power.Model, qm qoe.Model) (float64, error) {
+	lowest := &abr.Fixed{Rung: 0}
+	metrics, err := RunOnTrace(tr, m, lowest, pm, qm, player.DefaultBufferThresholdSec)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.TotalJ(), nil
+}

@@ -1,0 +1,394 @@
+// Package sim is the trace-driven streaming simulator of Section V: it
+// couples a DASH manifest, a radio link, a playback buffer, an ABR
+// algorithm, and the power and QoE models into one timeline, producing
+// per-segment logs and session metrics (energy breakdown, mean QoE,
+// rebuffering, switches). It is the engine behind every Fig. 5-7
+// experiment.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/dash"
+	"ecavs/internal/netsim"
+	"ecavs/internal/player"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+)
+
+// Config describes one streaming session.
+type Config struct {
+	// Manifest is the video being streamed.
+	Manifest *dash.Manifest
+	// Link is the radio link (synthetic channel or trace replay).
+	Link netsim.Link
+	// VibrationAt reports the Eq. 5 vibration level at a session time;
+	// nil means a perfectly still phone.
+	VibrationAt func(tSec float64) float64
+	// Algorithm selects the bitrate per segment.
+	Algorithm abr.Algorithm
+	// Power is the energy model.
+	Power power.Model
+	// QoE is the quality model.
+	QoE qoe.Model
+	// BufferThresholdSec is the download-pacing threshold beta
+	// (default player.DefaultBufferThresholdSec).
+	BufferThresholdSec float64
+	// ResumeThresholdSec adds hysteresis to download pacing: once the
+	// buffer fills past BufferThresholdSec, downloads stay paused until
+	// it drains below this level. Zero means no hysteresis (resume as
+	// soon as the buffer dips under the threshold). Must not exceed
+	// BufferThresholdSec.
+	ResumeThresholdSec float64
+	// RRC, when non-nil, enables the LTE radio-state machine: transfer
+	// promotions, tail energy after each burst, and idle paging power
+	// are accounted in Metrics.RadioCtlJ.
+	RRC *power.RRCConfig
+	// AbandonAtSec, when positive, ends the session once playback
+	// reaches that point (the viewer quits early — the behaviour that
+	// makes deep prefetching waste energy, cf. Hu & Cao, INFOCOM 2015).
+	// Content downloaded but never played is reported in
+	// Metrics.WastedMB.
+	AbandonAtSec float64
+	// TCPRampSec, when positive, applies a slow-start-style ramp to
+	// each segment download: the rate climbs linearly to the link rate
+	// over this many seconds, penalising very short segments.
+	TCPRampSec float64
+}
+
+// SegmentLog records one task's outcome.
+type SegmentLog struct {
+	// Index is the segment number.
+	Index int
+	// Rung and BitrateMbps identify the selected representation.
+	Rung        int
+	BitrateMbps float64
+	// SizeMB is the downloaded payload.
+	SizeMB float64
+	// StartSec is the session time the download began.
+	StartSec float64
+	// DownloadSec is the download duration.
+	DownloadSec float64
+	// ThroughputMbps is the measured download rate.
+	ThroughputMbps float64
+	// MeanSignalDBm is the transfer-weighted signal strength.
+	MeanSignalDBm float64
+	// Vibration is the vibration level at decision time.
+	Vibration float64
+	// StallSec is the rebuffering attributed to this segment.
+	StallSec float64
+	// QoE is the segment's Eq. 1 quality.
+	QoE float64
+}
+
+// Metrics summarises one session.
+type Metrics struct {
+	// Algorithm is the policy's display name.
+	Algorithm string
+	// Segments holds the per-task logs.
+	Segments []SegmentLog
+	// PlaybackJ, DownloadJ, RebufferJ, StartupJ, RadioCtlJ decompose
+	// the session energy; TotalJ is their sum. RadioCtlJ covers RRC
+	// promotion, tail, and idle paging energy (zero unless Config.RRC
+	// is set).
+	PlaybackJ, DownloadJ, RebufferJ, StartupJ, RadioCtlJ float64
+	// MeanQoE is the average per-segment Eq. 1 quality.
+	MeanQoE float64
+	// SessionQoE is the recency- and oscillation-aware session score
+	// (qoe.SessionModel with defaults).
+	SessionQoE float64
+	// MeanBitrateMbps is the duration-weighted mean selected bitrate.
+	MeanBitrateMbps float64
+	// DownloadedMB is the total payload fetched.
+	DownloadedMB float64
+	// WastedMB is payload downloaded but never played (early quit).
+	WastedMB float64
+	// Abandoned reports whether the viewer quit before the end.
+	Abandoned bool
+	// RebufferSec is total mid-stream stalling; StartupSec is the
+	// initial join delay.
+	RebufferSec, StartupSec float64
+	// Switches counts bitrate changes between consecutive segments.
+	Switches int
+	// DurationSec is the session wall-clock length.
+	DurationSec float64
+}
+
+// TotalJ returns the session's total energy.
+func (m *Metrics) TotalJ() float64 {
+	return m.PlaybackJ + m.DownloadJ + m.RebufferJ + m.StartupJ + m.RadioCtlJ
+}
+
+// ExtraJ returns the energy above the given base (Section V-B's
+// base/extra split). Negative differences clamp to zero.
+func (m *Metrics) ExtraJ(baseJ float64) float64 {
+	if d := m.TotalJ() - baseJ; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Config validation errors.
+var (
+	ErrNilManifest  = errors.New("sim: nil manifest")
+	ErrNilLink      = errors.New("sim: nil link")
+	ErrNilAlgorithm = errors.New("sim: nil algorithm")
+	ErrBadRung      = errors.New("sim: algorithm selected an invalid rung")
+)
+
+// idleStepSec is the integration step while the buffer is full and the
+// radio idles.
+const idleStepSec = 0.1
+
+// Run simulates one full streaming session.
+func Run(cfg Config) (*Metrics, error) {
+	if cfg.Manifest == nil {
+		return nil, ErrNilManifest
+	}
+	if cfg.Link == nil {
+		return nil, ErrNilLink
+	}
+	if cfg.Algorithm == nil {
+		return nil, ErrNilAlgorithm
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: power model: %w", err)
+	}
+	if err := cfg.QoE.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: qoe model: %w", err)
+	}
+	threshold := cfg.BufferThresholdSec
+	if threshold <= 0 {
+		threshold = player.DefaultBufferThresholdSec
+	}
+	resume := cfg.ResumeThresholdSec
+	if resume <= 0 {
+		resume = threshold
+	}
+	if resume > threshold {
+		return nil, errors.New("sim: resume threshold exceeds buffer threshold")
+	}
+	var rrc *power.RRCTracker
+	if cfg.RRC != nil {
+		var err error
+		rrc, err = power.NewRRCTracker(*cfg.RRC)
+		if err != nil {
+			return nil, fmt.Errorf("sim: rrc: %w", err)
+		}
+	}
+	vibAt := cfg.VibrationAt
+	if vibAt == nil {
+		vibAt = func(float64) float64 { return 0 }
+	}
+
+	pl, err := player.New(threshold)
+	if err != nil {
+		return nil, err
+	}
+	ladder := cfg.Manifest.Ladder()
+	n := cfg.Manifest.SegmentCount()
+	m := &Metrics{
+		Algorithm: cfg.Algorithm.Name(),
+		Segments:  make([]SegmentLog, 0, n),
+	}
+	startTime := cfg.Link.Now()
+	prevRung := -1
+
+	// drain plays dt seconds of buffered video, integrating decode and
+	// stall power.
+	drain := func(dt float64) (stallSec float64) {
+		played, stall := pl.Drain(dt)
+		for _, st := range played {
+			m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
+		}
+		if stall > 0 {
+			m.RebufferJ += cfg.Power.RebufferPowerW * stall
+		}
+		return stall
+	}
+
+	abandoned := func() bool {
+		return cfg.AbandonAtSec > 0 && pl.PlayedSec() >= cfg.AbandonAtSec
+	}
+	paused := false
+	for i := 0; i < n && !abandoned(); i++ {
+		// Pace downloads: idle (radio silent, playback continues)
+		// while the buffer is above the threshold; with hysteresis,
+		// stay paused until it drains to the resume level.
+		for !abandoned() {
+			buf := pl.BufferSec()
+			if buf >= threshold {
+				paused = true
+			}
+			if !paused || buf <= resume {
+				paused = false
+				break
+			}
+			drain(idleStepSec)
+			cfg.Link.Advance(idleStepSec)
+			if rrc != nil {
+				rrc.AdvanceIdle(idleStepSec)
+			}
+		}
+		if abandoned() {
+			break
+		}
+
+		now := cfg.Link.Now()
+		dur, err := cfg.Manifest.SegmentDuration(i)
+		if err != nil {
+			return nil, err
+		}
+		sizes := make([]float64, len(ladder))
+		for j := range ladder {
+			s, err := cfg.Manifest.SegmentSizeMB(i, j)
+			if err != nil {
+				return nil, err
+			}
+			sizes[j] = s
+		}
+		vib := vibAt(now - startTime)
+		ctx := abr.Context{
+			SegmentIndex:       i,
+			Ladder:             ladder,
+			SegmentSizesMB:     sizes,
+			SegmentDurationSec: dur,
+			PrevRung:           prevRung,
+			BufferSec:          pl.BufferSec(),
+			BufferThresholdSec: threshold,
+			SignalDBm:          cfg.Link.SignalDBm(),
+			VibrationLevel:     vib,
+		}
+		rung, err := cfg.Algorithm.ChooseRung(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: segment %d: %w", i, err)
+		}
+		if rung < 0 || rung >= len(ladder) {
+			return nil, fmt.Errorf("%w: %d of %d at segment %d", ErrBadRung, rung, len(ladder), i)
+		}
+
+		var stallSec float64
+		if rrc != nil {
+			// Promotion latency delays the transfer; playback continues.
+			if latency := rrc.StartTransfer(); latency > 0 {
+				stallSec += drain(latency)
+				cfg.Link.Advance(latency)
+			}
+		}
+		res, err := netsim.DownloadRamped(cfg.Link, sizes[rung], cfg.TCPRampSec, func(step netsim.DownloadStep) {
+			m.DownloadJ += cfg.Power.RadioPowerW(step.SignalDBm) * step.Dt
+			stallSec += drain(step.Dt)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: segment %d download: %w", i, err)
+		}
+		if rrc != nil {
+			rrc.EndTransfer()
+		}
+		pl.OnSegment(dur, ladder[rung].BitrateMbps)
+
+		thMbps := res.MeanThroughputMBps * 8
+		cfg.Algorithm.ObserveDownload(thMbps)
+
+		prevBitrate := 0.0
+		if prevRung >= 0 {
+			prevBitrate = ladder[prevRung].BitrateMbps
+		}
+		segQoE := cfg.QoE.SegmentQoE(qoe.Segment{
+			BitrateMbps:     ladder[rung].BitrateMbps,
+			PrevBitrateMbps: prevBitrate,
+			Vibration:       vib,
+			RebufferSec:     stallSec,
+		})
+		m.Segments = append(m.Segments, SegmentLog{
+			Index:          i,
+			Rung:           rung,
+			BitrateMbps:    ladder[rung].BitrateMbps,
+			SizeMB:         sizes[rung],
+			StartSec:       now - startTime,
+			DownloadSec:    res.DurationSec,
+			ThroughputMbps: thMbps,
+			MeanSignalDBm:  res.MeanSignalDBm,
+			Vibration:      vib,
+			StallSec:       stallSec,
+			QoE:            segQoE,
+		})
+		m.DownloadedMB += sizes[rung]
+		if prevRung >= 0 && rung != prevRung {
+			m.Switches++
+		}
+		prevRung = rung
+	}
+
+	if abandoned() {
+		// The viewer quit: whatever sits in the buffer was downloaded
+		// for nothing. Attribute the trailing bufferSec seconds of
+		// downloaded content (FIFO buffer => the most recent segments)
+		// as wasted payload.
+		m.Abandoned = true
+		remaining := pl.BufferSec()
+		for i := len(m.Segments) - 1; i >= 0 && remaining > 1e-9; i-- {
+			dur, err := cfg.Manifest.SegmentDuration(m.Segments[i].Index)
+			if err != nil {
+				return nil, err
+			}
+			if dur <= 0 {
+				continue
+			}
+			take := dur
+			if take > remaining {
+				take = remaining
+			}
+			m.WastedMB += m.Segments[i].SizeMB * take / dur
+			remaining -= take
+		}
+	} else {
+		// Play out the remaining buffer.
+		for _, st := range pl.FinishRemaining() {
+			m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
+			cfg.Link.Advance(st.DurationSec)
+			if rrc != nil {
+				rrc.AdvanceIdle(st.DurationSec)
+			}
+		}
+	}
+	if rrc != nil {
+		m.RadioCtlJ = rrc.TotalJ()
+	}
+
+	m.StartupSec = pl.StartupSec()
+	m.StartupJ = cfg.Power.RebufferPowerW * m.StartupSec
+	m.RebufferSec = pl.StallSec()
+	m.DurationSec = cfg.Link.Now() - startTime
+
+	var qoeSum, brWeighted, durSum float64
+	for _, s := range m.Segments {
+		qoeSum += s.QoE
+	}
+	for i, s := range m.Segments {
+		dur, err := cfg.Manifest.SegmentDuration(i)
+		if err != nil {
+			return nil, err
+		}
+		brWeighted += s.BitrateMbps * dur
+		durSum += dur
+	}
+	if len(m.Segments) > 0 {
+		m.MeanQoE = qoeSum / float64(len(m.Segments))
+		scores := make([]qoe.SegmentScore, len(m.Segments))
+		for i, s := range m.Segments {
+			scores[i] = qoe.SegmentScore{StartSec: s.StartSec, QoE: s.QoE}
+		}
+		sessionQoE, err := qoe.DefaultSession().Score(scores, m.StartupSec)
+		if err != nil {
+			return nil, err
+		}
+		m.SessionQoE = sessionQoE
+	}
+	if durSum > 0 {
+		m.MeanBitrateMbps = brWeighted / durSum
+	}
+	return m, nil
+}

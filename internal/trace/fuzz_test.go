@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CSV decoders must never panic on arbitrary input — they return
+// errors for anything malformed.
+
+func FuzzDecodeNetworkCSV(f *testing.F) {
+	f.Add("time_sec,signal_dbm,throughput_mbps\n0,-90,10\n")
+	f.Add("0,-90,10\n1,-95,8\n")
+	f.Add("a,b,c\n")
+	f.Add("")
+	f.Add("1,2\n")
+	f.Add("1,2,3,4\n")
+	f.Add("\"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		points, err := DecodeNetworkCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// On success every point must carry finite values.
+		for _, p := range points {
+			if p.ThroughputMBps != p.ThroughputMBps { // NaN check
+				t.Errorf("NaN throughput from %q", input)
+			}
+		}
+	})
+}
+
+func FuzzDecodeAccelCSV(f *testing.F) {
+	f.Add("time_sec,x,y,z\n0,0,0,9.8\n")
+	f.Add("0,0,0,9.8\n0.02,0.1,-0.1,9.7\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Add("1,2,3,nope\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = DecodeAccelCSV(strings.NewReader(input))
+	})
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ecavs/internal/netsim"
+	"ecavs/internal/vibration"
+)
+
+// ErrBadRecord is returned when a CSV record cannot be parsed.
+var ErrBadRecord = errors.New("trace: malformed record")
+
+// EncodeNetworkCSV writes network points as CSV with a header row:
+// time_sec,signal_dbm,throughput_mbps.
+func EncodeNetworkCSV(w io.Writer, points []netsim.TracePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_sec", "signal_dbm", "throughput_mbps"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.FormatFloat(p.TimeSec, 'g', -1, 64),
+			strconv.FormatFloat(p.SignalDBm, 'g', -1, 64),
+			strconv.FormatFloat(p.ThroughputMBps*8, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeNetworkCSV reads network points written by EncodeNetworkCSV.
+func DecodeNetworkCSV(r io.Reader) ([]netsim.TracePoint, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	var out []netsim.TracePoint
+	for i, rec := range records {
+		if i == 0 && len(rec) > 0 && rec[0] == "time_sec" {
+			continue // header
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("%w: line %d has %d fields", ErrBadRecord, i+1, len(rec))
+		}
+		vals := make([]float64, 3)
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d field %d: %v", ErrBadRecord, i+1, j+1, err)
+			}
+			vals[j] = v
+		}
+		out = append(out, netsim.TracePoint{
+			TimeSec:        vals[0],
+			SignalDBm:      vals[1],
+			ThroughputMBps: vals[2] / 8,
+		})
+	}
+	return out, nil
+}
+
+// EncodeAccelCSV writes accelerometer samples as CSV with a header:
+// time_sec,x,y,z.
+func EncodeAccelCSV(w io.Writer, samples []vibration.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_sec", "x", "y", "z"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.FormatFloat(s.TimeSec, 'g', -1, 64),
+			strconv.FormatFloat(s.X, 'g', -1, 64),
+			strconv.FormatFloat(s.Y, 'g', -1, 64),
+			strconv.FormatFloat(s.Z, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DecodeAccelCSV reads samples written by EncodeAccelCSV.
+func DecodeAccelCSV(r io.Reader) ([]vibration.Sample, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	var out []vibration.Sample
+	for i, rec := range records {
+		if i == 0 && len(rec) > 0 && rec[0] == "time_sec" {
+			continue
+		}
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("%w: line %d has %d fields", ErrBadRecord, i+1, len(rec))
+		}
+		vals := make([]float64, 4)
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d field %d: %v", ErrBadRecord, i+1, j+1, err)
+			}
+			vals[j] = v
+		}
+		out = append(out, vibration.Sample{TimeSec: vals[0], X: vals[1], Y: vals[2], Z: vals[3]})
+	}
+	return out, nil
+}
+
+// meta is the JSON sidecar persisted next to the CSVs.
+type meta struct {
+	ID                int     `json:"id"`
+	Name              string  `json:"name"`
+	LengthSec         float64 `json:"lengthSec"`
+	NativeBitrateMbps float64 `json:"nativeBitrateMbps"`
+}
+
+// Save writes the trace into dir as three files:
+// trace<ID>_meta.json, trace<ID>_network.csv, trace<ID>_accel.csv.
+func (t *Trace) Save(dir string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: mkdir: %w", err)
+	}
+	prefix := filepath.Join(dir, fmt.Sprintf("trace%d", t.ID))
+
+	mf, err := os.Create(prefix + "_meta.json")
+	if err != nil {
+		return fmt.Errorf("trace: create meta: %w", err)
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta{ID: t.ID, Name: t.Name, LengthSec: t.LengthSec, NativeBitrateMbps: t.NativeBitrateMbps}); err != nil {
+		return fmt.Errorf("trace: encode meta: %w", err)
+	}
+
+	nf, err := os.Create(prefix + "_network.csv")
+	if err != nil {
+		return fmt.Errorf("trace: create network csv: %w", err)
+	}
+	defer nf.Close()
+	if err := EncodeNetworkCSV(nf, t.Network); err != nil {
+		return err
+	}
+
+	af, err := os.Create(prefix + "_accel.csv")
+	if err != nil {
+		return fmt.Errorf("trace: create accel csv: %w", err)
+	}
+	defer af.Close()
+	return EncodeAccelCSV(af, t.Accel)
+}
+
+// Load reads a trace saved by Save.
+func Load(dir string, id int) (*Trace, error) {
+	prefix := filepath.Join(dir, fmt.Sprintf("trace%d", id))
+
+	mb, err := os.ReadFile(prefix + "_meta.json")
+	if err != nil {
+		return nil, fmt.Errorf("trace: read meta: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("trace: decode meta: %w", err)
+	}
+
+	nf, err := os.Open(prefix + "_network.csv")
+	if err != nil {
+		return nil, fmt.Errorf("trace: open network csv: %w", err)
+	}
+	defer nf.Close()
+	points, err := DecodeNetworkCSV(nf)
+	if err != nil {
+		return nil, err
+	}
+
+	af, err := os.Open(prefix + "_accel.csv")
+	if err != nil {
+		return nil, fmt.Errorf("trace: open accel csv: %w", err)
+	}
+	defer af.Close()
+	samples, err := DecodeAccelCSV(af)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Trace{
+		ID:                m.ID,
+		Name:              m.Name,
+		LengthSec:         m.LengthSec,
+		NativeBitrateMbps: m.NativeBitrateMbps,
+		Network:           points,
+		Accel:             samples,
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ecavs/internal/netsim"
+	"ecavs/internal/vibration"
+)
+
+func TestNetworkCSVRoundTrip(t *testing.T) {
+	points := []netsim.TracePoint{
+		{TimeSec: 0, SignalDBm: -90.5, ThroughputMBps: 2.25},
+		{TimeSec: 1, SignalDBm: -101, ThroughputMBps: 0.875},
+	}
+	var buf bytes.Buffer
+	if err := EncodeNetworkCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNetworkCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(points) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(points))
+	}
+	for i := range points {
+		if got[i].TimeSec != points[i].TimeSec ||
+			got[i].SignalDBm != points[i].SignalDBm ||
+			almostEqualF(got[i].ThroughputMBps, points[i].ThroughputMBps) == false {
+			t.Errorf("point %d = %+v, want %+v", i, got[i], points[i])
+		}
+	}
+}
+
+func almostEqualF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func TestAccelCSVRoundTrip(t *testing.T) {
+	samples := []vibration.Sample{
+		{TimeSec: 0, X: 0.1, Y: -0.2, Z: 9.81},
+		{TimeSec: 0.02, X: 0.3, Y: 0.1, Z: 9.5},
+	}
+	var buf bytes.Buffer
+	if err := EncodeAccelCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAccelCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestDecodeNetworkCSVMalformed(t *testing.T) {
+	// Wrong field count.
+	if _, err := DecodeNetworkCSV(strings.NewReader("1,2\n")); !errors.Is(err, ErrBadRecord) {
+		// csv.Reader may reject ragged rows itself; accept either error.
+		if err == nil {
+			t.Error("malformed record accepted")
+		}
+	}
+	// Non-numeric field.
+	if _, err := DecodeNetworkCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("non-numeric record without header accepted")
+	}
+	// Header-only input decodes to empty.
+	got, err := DecodeNetworkCSV(strings.NewReader("time_sec,signal_dbm,throughput_mbps\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("header-only = %v, %v; want empty, nil", got, err)
+	}
+	// Empty input.
+	got, err = DecodeNetworkCSV(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestDecodeAccelCSVMalformed(t *testing.T) {
+	if _, err := DecodeAccelCSV(strings.NewReader("1,2,3,x\n")); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := tinyTrace(t)
+	if err := tr.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, tr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != tr.ID || got.Name != tr.Name || got.LengthSec != tr.LengthSec {
+		t.Errorf("meta mismatch: %+v vs %+v", got, tr)
+	}
+	if len(got.Network) != len(tr.Network) || len(got.Accel) != len(tr.Accel) {
+		t.Fatal("payload length mismatch")
+	}
+	if got.Network[1].SignalDBm != tr.Network[1].SignalDBm {
+		t.Error("network payload mismatch")
+	}
+	if got.Accel[3] != tr.Accel[3] {
+		t.Error("accel payload mismatch")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := &Trace{ID: 1}
+	if err := bad.Save(dir); err == nil {
+		t.Error("invalid trace saved")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(t.TempDir(), 42); err == nil {
+		t.Error("expected error for missing trace")
+	}
+}
