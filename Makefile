@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench experiments examples cover
+.PHONY: all check build vet test test-short race bench bench-diff experiments examples cover
 
 all: build vet test
+
+# check is the CI gate: build, vet, tests, and the race detector.
+check: build vet test race
 
 build:
 	go build ./...
@@ -16,8 +19,18 @@ test:
 test-short:
 	go test -short ./...
 
+race:
+	go build ./... && go test -race ./...
+
+# bench runs the full suite with -benchmem and records a dated JSON
+# snapshot (name, ns/op, allocs/op) for regression tracking.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem ./... | tee /dev/stderr | go run ./cmd/benchdiff -parse -out BENCH_$(shell date +%Y-%m-%d).json
+
+# bench-diff compares two snapshots and fails on >20% regressions:
+#   make bench-diff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-06.json
+bench-diff:
+	go run ./cmd/benchdiff -old $(OLD) -new $(NEW)
 
 # Regenerate every paper table/figure plus the ablations and extensions.
 experiments:

@@ -97,6 +97,25 @@ func BenchmarkExtendedBrightness(b *testing.B)      { benchExperiment(b, "ext-br
 func BenchmarkExtendedFairness(b *testing.B)        { benchExperiment(b, "ext-fairness") }
 func BenchmarkExtendedRobustness(b *testing.B)      { benchExperiment(b, "ext-robustness") }
 
+// BenchmarkComparisonCold measures the full five-trace, five-algorithm
+// evaluation from a cold environment — the parallel engine's headline
+// workload. Each iteration builds a fresh Env so nothing is cached;
+// on a multi-core machine the trace×algorithm sessions fan out over
+// the worker pool.
+func BenchmarkComparisonCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := eval.NewEnv()
+		c, err := e.Comparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Results) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
 // End-to-end session benchmarks: one full trace replay per iteration.
 
 func benchTrace(b *testing.B) *trace.Trace {
@@ -110,6 +129,7 @@ func benchTrace(b *testing.B) *trace.Trace {
 
 func BenchmarkSessionYoutube(b *testing.B) {
 	tr := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ecavs.Stream(tr, ecavs.NewYoutube()); err != nil {
@@ -120,6 +140,7 @@ func BenchmarkSessionYoutube(b *testing.B) {
 
 func BenchmarkSessionOnline(b *testing.B) {
 	tr := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		alg, err := ecavs.NewOnline(ecavs.DefaultAlpha)
@@ -146,6 +167,7 @@ func BenchmarkOptimalPlanner(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.PlanOptimal(obj, dash.EvalLadder(), tasks); err != nil {
@@ -179,6 +201,7 @@ func BenchmarkOnlineDecision(b *testing.B) {
 		SignalDBm:          -105,
 		VibrationLevel:     6,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := alg.ChooseRung(ctx); err != nil {

@@ -1,0 +1,209 @@
+// Command benchdiff guards against performance regressions.
+//
+// It has two modes. Parse mode reads `go test -bench -benchmem`
+// output (stdin or -in) and writes a JSON snapshot of every benchmark
+// (name, ns/op, allocs/op, B/op):
+//
+//	go test -bench=. -benchmem ./... | benchdiff -parse -out BENCH_2026-08-06.json
+//
+// Compare mode diffs two snapshots and exits non-zero when any
+// benchmark present in both regressed by more than the threshold
+// (default 20%) on ns/op or allocs/op:
+//
+//	benchdiff -old BENCH_2026-08-01.json -new BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	parse := fs.Bool("parse", false, "parse `go test -bench` output into a JSON snapshot")
+	in := fs.String("in", "", "bench output to parse (default stdin)")
+	out := fs.String("out", "", "snapshot file to write (default stdout)")
+	oldPath := fs.String("old", "", "baseline snapshot (compare mode)")
+	newPath := fs.String("new", "", "candidate snapshot (compare mode)")
+	threshold := fs.Float64("threshold", 0.20, "max allowed fractional regression on ns/op or allocs/op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *parse {
+		r := stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		results, err := parseBench(r)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("no benchmark lines found")
+		}
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out != "" {
+			return os.WriteFile(*out, data, 0o644)
+		}
+		_, err = stdout.Write(data)
+		return err
+	}
+
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("need either -parse, or both -old and -new")
+	}
+	oldRes, err := loadSnapshot(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := loadSnapshot(*newPath)
+	if err != nil {
+		return err
+	}
+	return compare(stdout, oldRes, newRes, *threshold)
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkOptimalPlanner-8  2276  519957 ns/op  8640 B/op  11 allocs/op
+func parseBench(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := Result{Name: trimProcSuffix(fields[0])}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				res.AllocsOp = v
+			case "B/op":
+				res.BytesOp = v
+			}
+		}
+		if ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+// trimProcSuffix strips the -<GOMAXPROCS> suffix so snapshots taken on
+// machines with different core counts stay comparable by name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func loadSnapshot(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(list))
+	for _, r := range list {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// compare prints a per-benchmark delta table and returns an error when
+// any benchmark regressed beyond the threshold on ns/op or allocs/op.
+func compare(w io.Writer, oldRes, newRes map[string]Result, threshold float64) error {
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("snapshots share no benchmarks")
+	}
+	var regressions []string
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		dns := delta(o.NsPerOp, n.NsPerOp)
+		dal := delta(o.AllocsOp, n.AllocsOp)
+		mark := "  "
+		if dns > threshold || dal > threshold {
+			mark = "! "
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(w, "%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
+			mark, name, o.NsPerOp, n.NsPerOp, 100*dns, o.AllocsOp, n.AllocsOp, 100*dal)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(regressions), 100*threshold, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintf(w, "OK: %d benchmarks within %.0f%% of baseline\n", len(names), 100*threshold)
+	return nil
+}
+
+// delta returns the fractional increase from old to new; a zero or
+// missing baseline never counts as a regression.
+func delta(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (new - old) / old
+}

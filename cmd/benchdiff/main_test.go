@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: ecavs
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkOptimalPlanner-8   	    2276	    519957 ns/op	    8640 B/op	      11 allocs/op
+BenchmarkOnlineDecision-8   	  230864	      5144 ns/op	     592 B/op	       4 allocs/op
+BenchmarkSessionOnline      	     684	   1729509 ns/op	 3063192 B/op	    3068 allocs/op
+PASS
+ok  	ecavs	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	pl, ok := byName["BenchmarkOptimalPlanner"]
+	if !ok {
+		t.Fatalf("missing BenchmarkOptimalPlanner (GOMAXPROCS suffix not trimmed?): %v", byName)
+	}
+	if pl.NsPerOp != 519957 || pl.AllocsOp != 11 || pl.BytesOp != 8640 {
+		t.Errorf("planner parsed as %+v", pl)
+	}
+	if _, ok := byName["BenchmarkSessionOnline"]; !ok {
+		t.Error("suffix-free benchmark name not parsed")
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	oldRes := map[string]Result{
+		"A": {Name: "A", NsPerOp: 100, AllocsOp: 10},
+		"B": {Name: "B", NsPerOp: 100, AllocsOp: 10},
+		"C": {Name: "C", NsPerOp: 100, AllocsOp: 10},
+	}
+	newRes := map[string]Result{
+		"A": {Name: "A", NsPerOp: 119, AllocsOp: 10}, // within 20%
+		"B": {Name: "B", NsPerOp: 130, AllocsOp: 10}, // ns/op regression
+		"C": {Name: "C", NsPerOp: 90, AllocsOp: 13},  // allocs/op regression
+	}
+	var buf bytes.Buffer
+	err := compare(&buf, oldRes, newRes, 0.20)
+	if err == nil {
+		t.Fatalf("want regression error, got nil; output:\n%s", buf.String())
+	}
+	for _, name := range []string{"B", "C"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name regressed benchmark %s", err, name)
+		}
+	}
+	if strings.Contains(err.Error(), "A") && !strings.Contains(err.Error(), "2 benchmark") {
+		t.Errorf("benchmark A within threshold flagged: %v", err)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 1000, AllocsOp: 100}}
+	newRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 5}}
+	var buf bytes.Buffer
+	if err := compare(&buf, oldRes, newRes, 0.20); err != nil {
+		t.Fatalf("improvement flagged as regression: %v", err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-parse", "-out", snap}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(list))
+	}
+	// Identical snapshots compare clean.
+	if err := run([]string{"-old", snap, "-new", snap}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "OK: 3 benchmarks") {
+		t.Errorf("unexpected compare output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMissingArgs(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("want usage error, got nil")
+	}
+}

@@ -115,10 +115,24 @@ func (o Objective) Cost(est, ref Estimate) float64 {
 // rung). bitrates must parallel sizesMB. The returned slices are
 // per-rung costs and estimates; the reference is the top rung.
 func (o Objective) ScoreRungs(base Candidate, bitrates, sizesMB []float64) (costs []float64, ests []Estimate, err error) {
-	if len(bitrates) == 0 || len(bitrates) != len(sizesMB) {
-		return nil, nil, errors.New("core: bitrates and sizes must be non-empty and parallel")
-	}
+	costs = make([]float64, len(bitrates))
 	ests = make([]Estimate, len(bitrates))
+	if err := o.ScoreRungsInto(base, bitrates, sizesMB, costs, ests); err != nil {
+		return nil, nil, err
+	}
+	return costs, ests, nil
+}
+
+// ScoreRungsInto is ScoreRungs writing into caller-provided slices, so
+// per-decision hot paths can reuse their buffers. costs and ests must
+// both have len(bitrates) entries.
+func (o Objective) ScoreRungsInto(base Candidate, bitrates, sizesMB, costs []float64, ests []Estimate) error {
+	if len(bitrates) == 0 || len(bitrates) != len(sizesMB) {
+		return errors.New("core: bitrates and sizes must be non-empty and parallel")
+	}
+	if len(costs) != len(bitrates) || len(ests) != len(bitrates) {
+		return errors.New("core: cost and estimate buffers must parallel the bitrates")
+	}
 	for j := range bitrates {
 		c := base
 		c.BitrateMbps = bitrates[j]
@@ -126,11 +140,10 @@ func (o Objective) ScoreRungs(base Candidate, bitrates, sizesMB []float64) (cost
 		ests[j] = o.Estimate(c)
 	}
 	ref := ests[len(ests)-1]
-	costs = make([]float64, len(ests))
 	for j := range ests {
 		costs[j] = o.Cost(ests[j], ref)
 	}
-	return costs, ests, nil
+	return nil
 }
 
 // ArgminCost returns the index of the smallest cost (ties go to the

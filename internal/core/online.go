@@ -24,6 +24,13 @@ type Online struct {
 	obj    Objective
 	est    netsim.BandwidthEstimator
 	direct bool
+
+	// Per-decision scratch, reused across ChooseRung calls so the
+	// steady-state decision path does not allocate. An Online instance
+	// is owned by one session and must not be shared across goroutines.
+	bitrates []float64
+	costs    []float64
+	ests     []Estimate
 }
 
 var _ abr.Algorithm = (*Online)(nil)
@@ -94,11 +101,22 @@ func (o *Online) ChooseRung(ctx abr.Context) (int, error) {
 		Vibration:       ctx.VibrationLevel,
 		PrevBitrateMbps: ctx.Ladder[prevRung].BitrateMbps,
 	}
-	costs, _, err := o.obj.ScoreRungs(base, ctx.Ladder.Bitrates(), sizes)
-	if err != nil {
+	if k := len(ctx.Ladder); cap(o.bitrates) < k {
+		o.bitrates = make([]float64, k)
+		o.costs = make([]float64, k)
+		o.ests = make([]Estimate, k)
+	} else {
+		o.bitrates = o.bitrates[:k]
+		o.costs = o.costs[:k]
+		o.ests = o.ests[:k]
+	}
+	for j, rep := range ctx.Ladder {
+		o.bitrates[j] = rep.BitrateMbps
+	}
+	if err := o.obj.ScoreRungsInto(base, o.bitrates, sizes, o.costs, o.ests); err != nil {
 		return 0, err
 	}
-	ref := ArgminCost(costs)
+	ref := ArgminCost(o.costs)
 	if o.direct {
 		return ref, nil
 	}

@@ -8,6 +8,7 @@ import (
 	"ecavs/internal/abr"
 	"ecavs/internal/dash"
 	"ecavs/internal/graph"
+	"ecavs/internal/power"
 	"ecavs/internal/trace"
 )
 
@@ -46,18 +47,105 @@ var (
 	ErrSizeMismatch = errors.New("core: task sizes do not match the ladder")
 )
 
-// PlanOptimal maps the bitrate-selection problem to the layered DAG of
-// Fig. 4 — one node per (task, rung), a source, and a sink — and
-// solves it as a shortest-path problem. Edge weights carry the Eq. 11
-// objective of the destination task's candidate, including the
-// switch penalty between the endpoint rungs.
+// PlanConfig tunes PlanOptimal.
+type PlanConfig struct {
+	// Verify additionally solves the plan on the explicit layered DAG
+	// of Fig. 4 with both original solvers — the topological DP and
+	// Dijkstra on shifted weights (the paper's stated solver) — and
+	// returns an error if either disagrees with the fast path. It is
+	// off by default: the rolling DP is exact, and verification costs
+	// the full O(n·k²)-edge graph build it exists to avoid.
+	Verify bool
+}
+
+// taskScorer evaluates the Eq. 11 cost of every ladder rung of one
+// task, reusing its buffers across tasks so planning allocates
+// nothing per task. The energy term of a candidate does not depend on
+// the previous segment's bitrate, so it is computed once per task
+// (beginTask) and shared across all previous-rung rows (scoreInto).
+type taskScorer struct {
+	obj      Objective
+	bitrates []float64
+	// Per-rung, previous-rung-independent terms of the current task:
+	// energy and stall time from the power model, the Eq. 1 curve
+	// values Q0(r) and PerceivedQuality(r, v). Hoisting them out of
+	// scoreInto's inner loop removes every transcendental from the
+	// planner's O(n·k²) hot path without changing a single bit of the
+	// resulting costs (the curve functions are pure).
+	energyJ   []float64
+	rebufSec  []float64
+	q0        []float64
+	perceived []float64
+}
+
+func newTaskScorer(obj Objective, bitrates []float64) *taskScorer {
+	k := len(bitrates)
+	return &taskScorer{
+		obj:       obj,
+		bitrates:  bitrates,
+		energyJ:   make([]float64, k),
+		rebufSec:  make([]float64, k),
+		q0:        make([]float64, k),
+		perceived: make([]float64, k),
+	}
+}
+
+// beginTask computes the previous-rung-independent per-rung terms.
+func (s *taskScorer) beginTask(t TaskObservation) {
+	thMBps := t.BandwidthMbps / 8
+	for j, r := range s.bitrates {
+		b := s.obj.Power.SegmentEnergy(power.SegmentTask{
+			BitrateMbps:    r,
+			DurationSec:    t.DurationSec,
+			SizeMB:         t.SizesMB[j],
+			SignalDBm:      t.SignalDBm,
+			ThroughputMBps: thMBps,
+			BufferSec:      t.BufferSec,
+		})
+		s.energyJ[j] = b.TotalJ()
+		s.rebufSec[j] = b.RebufferSec
+		s.q0[j] = s.obj.QoE.OriginalQuality(r)
+		s.perceived[j] = s.obj.QoE.PerceivedQuality(r, t.Vibration)
+	}
+}
+
+// scoreInto fills costs[j] with the Eq. 11 cost of rung j for the
+// current task given previous rung p; p == len(bitrates) means "no
+// previous segment" (the first task). beginTask must have been called
+// for the task first. The arithmetic — energy and QoE estimates, then
+// the Eq. 11 scalarisation against the top-rung reference — is
+// bit-identical to Objective.ScoreRungs.
+func (s *taskScorer) scoreInto(t TaskObservation, p int, costs []float64) {
+	prev, q0Prev := 0.0, 0.0
+	if p < len(s.bitrates) {
+		prev = s.bitrates[p]
+		q0Prev = s.q0[p]
+	}
+	for j := range s.bitrates {
+		costs[j] = s.obj.QoE.SegmentQoEParts(s.perceived[j], s.q0[j], prev, q0Prev, s.rebufSec[j])
+	}
+	k := len(s.bitrates)
+	ref := Estimate{EnergyJ: s.energyJ[k-1], QoE: costs[k-1]}
+	for j := range costs {
+		costs[j] = s.obj.Cost(Estimate{EnergyJ: s.energyJ[j], QoE: costs[j]}, ref)
+	}
+}
+
+// PlanOptimal solves the bitrate-selection problem of Fig. 4 — one
+// node per (task, rung), a source, and a sink, with edge weights
+// carrying the Eq. 11 objective of the destination task's candidate
+// including the switch penalty between the endpoint rungs.
 //
-// Both solvers run: the topological DP (handles the objective's
-// negative weights directly) and Dijkstra on weights shifted per edge
-// by a constant (valid because every source-to-sink path has exactly
-// len(tasks)+1 edges); disagreement indicates a bug and is returned as
-// an error.
+// The hot path is a rolling in-place DP over two k-sized distance
+// slices: the layered DAG's structure is implicit, so no graph, edges,
+// or per-edge allocations are materialised. PlanOptimalWith can
+// cross-check the result against the explicit graph solvers.
 func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Plan, error) {
+	return PlanOptimalWith(obj, ladder, tasks, PlanConfig{})
+}
+
+// PlanOptimalWith is PlanOptimal with explicit configuration.
+func PlanOptimalWith(obj Objective, ladder dash.Ladder, tasks []TaskObservation, cfg PlanConfig) (Plan, error) {
 	if len(tasks) == 0 {
 		return Plan{}, ErrNoTasks
 	}
@@ -71,32 +159,89 @@ func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Pl
 		}
 	}
 	n := len(tasks)
-	bitrates := ladder.Bitrates()
+	sc := newTaskScorer(obj, ladder.Bitrates())
 
-	// Pre-compute per-task, per-(prev, rung) costs.
-	// costs[i][p][j]: cost of rung j at task i given previous rung p;
+	// Rolling DP over the implicit layered DAG. dist[j] is the best
+	// cost of any plan prefix ending with rung j at the current task;
+	// choice[i*k+j] records the previous rung that achieved it. The
+	// relaxation order (previous rungs ascending, strict improvement
+	// only) mirrors the explicit topological-order DP on the graph, so
+	// ties break identically and the costs accumulate in the same
+	// floating-point order — the verify path can demand exact equality.
+	dist := make([]float64, k)
+	next := make([]float64, k)
+	costs := make([]float64, k)
+	choice := make([]int32, n*k)
+
+	sc.beginTask(tasks[0])
+	sc.scoreInto(tasks[0], k, dist)
+	for i := 1; i < n; i++ {
+		for j := range next {
+			next[j] = math.Inf(1)
+		}
+		sc.beginTask(tasks[i])
+		row := choice[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			sc.scoreInto(tasks[i], p, costs)
+			dp := dist[p]
+			for j, c := range costs {
+				if nd := dp + c; nd < next[j] {
+					next[j] = nd
+					row[j] = int32(p)
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+
+	// Sink relaxation: the lowest rung achieving the minimum wins,
+	// matching the graph's edge order into the sink.
+	best := 0
+	for j := 1; j < k; j++ {
+		if dist[j] < dist[best] {
+			best = j
+		}
+	}
+	rungs := make([]int, n)
+	j := best
+	for i := n - 1; i >= 1; i-- {
+		rungs[i] = j
+		j = int(choice[i*k+j])
+	}
+	rungs[0] = j
+	plan := Plan{Rungs: rungs, TotalCost: dist[best]}
+
+	if cfg.Verify {
+		if err := verifyPlan(sc, tasks, plan); err != nil {
+			return Plan{}, err
+		}
+	}
+	return plan, nil
+}
+
+// verifyPlan re-solves the plan on the explicit layered DAG with both
+// original solvers and errors if either disagrees with the fast path.
+// The topological DP must match the rolling DP bit-for-bit (same
+// relaxation order, same float64 additions); Dijkstra runs on weights
+// shifted to non-negative and is checked within a relative tolerance,
+// as its different accumulation order forfeits bitwise equality.
+func verifyPlan(sc *taskScorer, tasks []TaskObservation, plan Plan) error {
+	n := len(tasks)
+	k := len(sc.bitrates)
+
+	// Materialise every per-task, per-(prev, rung) cost row: costs
+	// [i][p][j] is the cost of rung j at task i given previous rung p;
 	// p == k means "no previous" (first task).
 	costs := make([][][]float64, n)
 	minCost := math.Inf(1)
 	for i, t := range tasks {
 		costs[i] = make([][]float64, k+1)
+		sc.beginTask(t)
 		for p := 0; p <= k; p++ {
-			base := Candidate{
-				DurationSec:   t.DurationSec,
-				SignalDBm:     t.SignalDBm,
-				BandwidthMbps: t.BandwidthMbps,
-				BufferSec:     t.BufferSec,
-				Vibration:     t.Vibration,
-			}
-			if p < k {
-				base.PrevBitrateMbps = bitrates[p]
-			}
-			cs, _, err := obj.ScoreRungs(base, bitrates, t.SizesMB)
-			if err != nil {
-				return Plan{}, err
-			}
-			costs[i][p] = cs
-			for _, c := range cs {
+			row := make([]float64, k)
+			sc.scoreInto(t, p, row)
+			costs[i][p] = row
+			for _, c := range row {
 				if c < minCost {
 					minCost = c
 				}
@@ -115,6 +260,7 @@ func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Pl
 
 	build := func(withShift float64) (*graph.Graph, error) {
 		g := graph.New(sink + 1)
+		g.Reserve(0, k)
 		for j := 0; j < k; j++ {
 			if err := g.AddEdge(0, node(0, j), costs[0][k][j]+withShift); err != nil {
 				return nil, err
@@ -122,6 +268,7 @@ func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Pl
 		}
 		for i := 1; i < n; i++ {
 			for p := 0; p < k; p++ {
+				g.Reserve(node(i-1, p), k)
 				for j := 0; j < k; j++ {
 					if err := g.AddEdge(node(i-1, p), node(i, j), costs[i][p][j]+withShift); err != nil {
 						return nil, err
@@ -140,47 +287,50 @@ func PlanOptimal(obj Objective, ladder dash.Ladder, tasks []TaskObservation) (Pl
 	// Topological DP on the raw (possibly negative) weights.
 	gRaw, err := build(0)
 	if err != nil {
-		return Plan{}, err
+		return err
 	}
 	distDP, prevDP, err := gRaw.ShortestPathDAG(0)
 	if err != nil {
-		return Plan{}, err
+		return err
 	}
 	if math.IsInf(distDP[sink], 1) {
-		return Plan{}, graph.ErrNoPath
+		return graph.ErrNoPath
+	}
+	if distDP[sink] != plan.TotalCost {
+		return fmt.Errorf("core: verify: graph DP cost %v != fast-path cost %v", distDP[sink], plan.TotalCost)
+	}
+	path, err := graph.PathTo(prevDP, sink)
+	if err != nil {
+		return err
+	}
+	// path = [source, task nodes..., sink].
+	if len(path) != n+2 {
+		return fmt.Errorf("core: malformed plan path of length %d for %d tasks", len(path), n)
+	}
+	for i := 0; i < n; i++ {
+		if r := (path[i+1] - 1) % k; r != plan.Rungs[i] {
+			return fmt.Errorf("core: verify: graph DP rung %d at task %d != fast-path rung %d", r, i, plan.Rungs[i])
+		}
 	}
 
 	// Dijkstra on shifted weights (the paper's stated solver).
 	gShift, err := build(shift)
 	if err != nil {
-		return Plan{}, err
+		return err
 	}
 	distDij, _, err := gShift.Dijkstra(0)
 	if err != nil {
-		return Plan{}, err
+		return err
 	}
 	// Every source-to-sink path has exactly n shifted task edges plus
 	// one zero-weight sink edge, so the shifted optimum is the raw
 	// optimum plus n x shift.
 	wantDij := distDP[sink] + shift*float64(n)
 	if math.Abs(distDij[sink]-wantDij) > 1e-6*math.Max(1, math.Abs(wantDij)) {
-		return Plan{}, fmt.Errorf("core: solver disagreement: DP %v vs Dijkstra %v (shift %v)",
+		return fmt.Errorf("core: solver disagreement: DP %v vs Dijkstra %v (shift %v)",
 			distDP[sink], distDij[sink], shift)
 	}
-
-	path, err := graph.PathTo(prevDP, sink)
-	if err != nil {
-		return Plan{}, err
-	}
-	// path = [source, task nodes..., sink].
-	if len(path) != n+2 {
-		return Plan{}, fmt.Errorf("core: malformed plan path of length %d for %d tasks", len(path), n)
-	}
-	rungs := make([]int, n)
-	for i := 0; i < n; i++ {
-		rungs[i] = (path[i+1] - 1) % k
-	}
-	return Plan{Rungs: rungs, TotalCost: distDP[sink]}, nil
+	return nil
 }
 
 // ObserveTasks derives per-task observations from a recorded trace and

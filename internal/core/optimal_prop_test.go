@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecavs/internal/dash"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+)
+
+// randomLadder draws 1..8 strictly ascending bitrates.
+func randomLadder(t *testing.T, rng *rand.Rand) dash.Ladder {
+	t.Helper()
+	k := 1 + rng.Intn(8)
+	bitrates := make([]float64, k)
+	b := 0.1 + rng.Float64()*0.5
+	for j := range bitrates {
+		bitrates[j] = b
+		b += 0.1 + rng.Float64()*2
+	}
+	l, err := dash.NewLadder(bitrates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// randomTasks draws n tasks with randomized context, including VBR-like
+// size jitter so per-rung costs are not ladder-uniform.
+func randomTasks(rng *rand.Rand, n int, ladder dash.Ladder) []TaskObservation {
+	tasks := make([]TaskObservation, n)
+	for i := range tasks {
+		dur := 1 + rng.Float64()*5
+		jitter := 0.7 + rng.Float64()*0.6
+		sizes := make([]float64, len(ladder))
+		for j, rep := range ladder {
+			sizes[j] = rep.BitrateMbps / 8 * dur * jitter
+		}
+		tasks[i] = TaskObservation{
+			SizesMB:       sizes,
+			DurationSec:   dur,
+			SignalDBm:     -120 + rng.Float64()*40,
+			BandwidthMbps: 1 + rng.Float64()*50,
+			Vibration:     rng.Float64() * 8,
+			BufferSec:     rng.Float64() * 40,
+		}
+	}
+	return tasks
+}
+
+// The rolling-DP fast path must match the explicit graph solvers
+// bit-for-bit: same rungs and the exact same float64 total cost. The
+// sweep covers randomized ladders (including k=1), task counts
+// (including n=1), and the full alpha range — alpha near 0 makes the
+// QoE term dominate, so edge costs go negative and the Dijkstra verify
+// leg exercises its weight shift.
+func TestPlanFastPathMatchesVerifyPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	alphas := []float64{0, 0.1, 0.5, 0.9, 1}
+	for iter := 0; iter < 60; iter++ {
+		ladder := randomLadder(t, rng)
+		n := 1 + rng.Intn(15)
+		tasks := randomTasks(rng, n, ladder)
+		alpha := alphas[iter%len(alphas)]
+		obj, err := NewObjective(alpha, power.EvalModel(), qoe.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fast, err := PlanOptimal(obj, ladder, tasks)
+		if err != nil {
+			t.Fatalf("iter %d (n=%d k=%d alpha=%v): fast path: %v", iter, n, len(ladder), alpha, err)
+		}
+		// The verify path errors out internally on any mismatch between
+		// the fast path and either graph solver.
+		checked, err := PlanOptimalWith(obj, ladder, tasks, PlanConfig{Verify: true})
+		if err != nil {
+			t.Fatalf("iter %d (n=%d k=%d alpha=%v): verify path: %v", iter, n, len(ladder), alpha, err)
+		}
+
+		if fast.TotalCost != checked.TotalCost {
+			t.Errorf("iter %d: total cost %v != %v", iter, fast.TotalCost, checked.TotalCost)
+		}
+		if len(fast.Rungs) != n || len(checked.Rungs) != n {
+			t.Fatalf("iter %d: plan lengths %d/%d, want %d", iter, len(fast.Rungs), len(checked.Rungs), n)
+		}
+		for i := range fast.Rungs {
+			if fast.Rungs[i] != checked.Rungs[i] {
+				t.Errorf("iter %d task %d: rung %d != %d", iter, i, fast.Rungs[i], checked.Rungs[i])
+			}
+		}
+	}
+}

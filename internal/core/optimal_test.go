@@ -91,7 +91,7 @@ func TestPlanOptimalMatchesBruteForce(t *testing.T) {
 	obj := testObjective(t, 0.5)
 	ladder := smallLadder(t)
 	tasks := makeTasks(5, ladder)
-	plan, err := PlanOptimal(obj, ladder, tasks)
+	plan, err := PlanOptimalWith(obj, ladder, tasks, PlanConfig{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestPlanOptimalDominatesFixedPlans(t *testing.T) {
 	obj := testObjective(t, 0.5)
 	ladder := smallLadder(t)
 	tasks := makeTasks(12, ladder)
-	plan, err := PlanOptimal(obj, ladder, tasks)
+	plan, err := PlanOptimalWith(obj, ladder, tasks, PlanConfig{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPlanOptimalContextSensitivity(t *testing.T) {
 	obj := testObjective(t, 0.5)
 	ladder := smallLadder(t)
 	tasks := makeTasks(20, ladder)
-	plan, err := PlanOptimal(obj, ladder, tasks)
+	plan, err := PlanOptimalWith(obj, ladder, tasks, PlanConfig{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

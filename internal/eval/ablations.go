@@ -10,7 +10,11 @@ import (
 )
 
 // runOursVariant replays the five traces with a customised "Ours"
-// instance and returns average saving/degradation versus YouTube.
+// instance and returns average saving/degradation versus YouTube. The
+// replays fan out over the worker pool (each unit builds its own
+// algorithm instance); the averages are then accumulated sequentially
+// in trace order, so the floating-point summation — and therefore the
+// reported numbers — match the sequential evaluation exactly.
 func (e *Env) runOursVariant(build func(obj core.Objective) *core.Online, session func(*sim.TraceSession)) (save, extra, degr float64, err error) {
 	comp, err := e.Comparison()
 	if err != nil {
@@ -20,11 +24,12 @@ func (e *Env) runOursVariant(build func(obj core.Objective) *core.Online, sessio
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	var n float64
-	for _, r := range comp.Results {
-		man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
+	metrics := make([]*sim.Metrics, len(comp.Results))
+	if err := runUnits(len(comp.Results), func(i int) error {
+		r := comp.Results[i]
+		man, err := e.Manifest(r.Trace)
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
 		ts := sim.TraceSession{
 			Trace:        r.Trace,
@@ -39,8 +44,16 @@ func (e *Env) runOursVariant(build func(obj core.Objective) *core.Online, sessio
 		}
 		m, err := ts.Run()
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
+		metrics[i] = m
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
+	}
+	var n float64
+	for i, r := range comp.Results {
+		m := metrics[i]
 		yt := r.ByAlgorithm["Youtube"]
 		save += 1 - m.TotalJ()/yt.TotalJ()
 		if ytExtra := yt.TotalJ() - r.BaseJ; ytExtra > 0 {
@@ -155,11 +168,12 @@ func (e *Env) AblationNoGradualSwitch() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var switches, n float64
-		for _, r := range comp.Results {
-			man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
+		counts := make([]int, len(comp.Results))
+		if err := runUnits(len(comp.Results), func(i int) error {
+			r := comp.Results[i]
+			man, err := e.Manifest(r.Trace)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m, err := sim.TraceSession{
 				Trace: r.Trace, Manifest: man, Algorithm: v.build(obj),
@@ -167,9 +181,16 @@ func (e *Env) AblationNoGradualSwitch() (*Table, error) {
 				ThresholdSec: player.DefaultBufferThresholdSec,
 			}.Run()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			switches += float64(m.Switches)
+			counts[i] = m.Switches
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var switches, n float64
+		for _, c := range counts {
+			switches += float64(c)
 			n++
 		}
 		t.Rows = append(t.Rows, []string{v.name, pct(save), pct(degr), f1(switches / n)})

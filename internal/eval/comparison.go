@@ -19,7 +19,11 @@ func (e *Env) Fig5a() (*Table, error) {
 	for _, r := range comp.Results {
 		row := []string{fmt.Sprintf("trace%d", r.Trace.ID)}
 		for _, name := range AlgorithmNames {
-			row = append(row, f1(r.ByAlgorithm[name].TotalJ()))
+			m, err := r.Metrics(name)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(m.TotalJ()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -55,6 +59,9 @@ func (e *Env) Fig5c() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(comp.Results) == 0 {
+		return nil, fmt.Errorf("eval: fig5c needs trace 1, comparison has no results")
+	}
 	r := comp.Results[0]
 	t := &Table{
 		ID:      "fig5c",
@@ -66,7 +73,10 @@ func (e *Env) Fig5c() (*Table, error) {
 		},
 	}
 	for _, name := range AlgorithmNames {
-		m := r.ByAlgorithm[name]
+		m, err := r.Metrics(name)
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{name, f1(r.BaseJ), f1(m.ExtraJ(r.BaseJ)), f1(m.TotalJ())})
 	}
 	return t, nil
@@ -89,7 +99,11 @@ func (e *Env) Fig6a() (*Table, error) {
 	for _, r := range comp.Results {
 		row := []string{fmt.Sprintf("trace%d", r.Trace.ID)}
 		for _, name := range AlgorithmNames {
-			row = append(row, f3(r.ByAlgorithm[name].MeanQoE))
+			m, err := r.Metrics(name)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(m.MeanQoE))
 		}
 		t.Rows = append(t.Rows, row)
 	}

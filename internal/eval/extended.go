@@ -50,7 +50,8 @@ func (e *Env) ExtendedBaselines() (*Table, error) {
 		addRow(name, sumJ/float64(len(comp.Results)), whole, comp.AverageQoE(name), comp.QoEDegradation(name))
 	}
 
-	// The two new baselines, replayed fresh.
+	// The two new baselines, replayed fresh: one pool unit per
+	// baseline × trace, accumulated in the sequential order afterwards.
 	builders := []struct {
 		name string
 		make func() (abr.Algorithm, error)
@@ -58,28 +59,38 @@ func (e *Env) ExtendedBaselines() (*Table, error) {
 		{name: "BOLA", make: func() (abr.Algorithm, error) { return abr.NewBOLA() }},
 		{name: "RobustMPC", make: func() (abr.Algorithm, error) { return abr.NewMPC() }},
 	}
-	for _, b := range builders {
+	nt := len(comp.Results)
+	metrics := make([]*sim.Metrics, len(builders)*nt)
+	if err := runUnits(len(metrics), func(unit int) error {
+		b, r := builders[unit/nt], comp.Results[unit%nt]
+		alg, err := b.make()
+		if err != nil {
+			return err
+		}
+		man, err := e.Manifest(r.Trace)
+		if err != nil {
+			return err
+		}
+		m, err := sim.RunOnTrace(r.Trace, man, alg, e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
+		if err != nil {
+			return fmt.Errorf("eval: %s on trace %d: %w", b.name, r.Trace.ID, err)
+		}
+		metrics[unit] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for bi, b := range builders {
 		var sumJ, sumSave, sumQ, sumDegr float64
-		for _, r := range comp.Results {
-			alg, err := b.make()
-			if err != nil {
-				return nil, err
-			}
-			man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
-			if err != nil {
-				return nil, err
-			}
-			m, err := sim.RunOnTrace(r.Trace, man, alg, e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s on trace %d: %w", b.name, r.Trace.ID, err)
-			}
+		for ti, r := range comp.Results {
+			m := metrics[bi*nt+ti]
 			yt := r.ByAlgorithm["Youtube"]
 			sumJ += m.TotalJ()
 			sumSave += 1 - m.TotalJ()/yt.TotalJ()
 			sumQ += m.MeanQoE
 			sumDegr += 1 - m.MeanQoE/yt.MeanQoE
 		}
-		n := float64(len(comp.Results))
+		n := float64(nt)
 		addRow(b.name, sumJ/n, sumSave/n, sumQ/n, sumDegr/n)
 	}
 	return t, nil
@@ -109,8 +120,10 @@ func (e *Env) ExtendedLearned() (*Table, error) {
 			"a small tabular agent is deliberately conservative (stall-averse), so its QoE trails the model-based policies — the deep-RL original closes that gap with function approximation",
 		},
 	}
+	// The shared agent carries replay state (Reset per run), so these
+	// sessions stay sequential; the manifests come from the cache.
 	for _, r := range comp.Results {
-		man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
+		man, err := e.Manifest(r.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -205,34 +218,45 @@ func (e *Env) AblationAbandonment() (*Table, error) {
 			"viewer quits at 1/3 of each video; wasted energy = trailing buffered payload x energy/MB at the trace's mean signal",
 		},
 	}
-	for _, threshold := range []float64{10, 30, 60} {
+	thresholds := []float64{10, 30, 60}
+	nt := len(comp.Results)
+	metrics := make([]*sim.Metrics, len(thresholds)*nt)
+	if err := runUnits(len(metrics), func(unit int) error {
+		threshold, r := thresholds[unit/nt], comp.Results[unit%nt]
+		man, err := e.Manifest(r.Trace)
+		if err != nil {
+			return err
+		}
+		link, err := r.Trace.Link()
+		if err != nil {
+			return err
+		}
+		m, err := sim.Run(sim.Config{
+			Manifest:           man,
+			Link:               link,
+			Algorithm:          abr.NewYoutube(),
+			Power:              e.EvalPower,
+			QoE:                e.QoE,
+			BufferThresholdSec: threshold,
+			AbandonAtSec:       r.Trace.LengthSec / 3,
+		})
+		if err != nil {
+			return err
+		}
+		metrics[unit] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for hi, threshold := range thresholds {
 		var wastedMB, wastedJ, totJ float64
-		for _, r := range comp.Results {
-			man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
-			if err != nil {
-				return nil, err
-			}
-			link, err := r.Trace.Link()
-			if err != nil {
-				return nil, err
-			}
-			m, err := sim.Run(sim.Config{
-				Manifest:           man,
-				Link:               link,
-				Algorithm:          abr.NewYoutube(),
-				Power:              e.EvalPower,
-				QoE:                e.QoE,
-				BufferThresholdSec: threshold,
-				AbandonAtSec:       r.Trace.LengthSec / 3,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ti, r := range comp.Results {
+			m := metrics[hi*nt+ti]
 			wastedMB += m.WastedMB
 			wastedJ += m.WastedMB * e.EvalPower.EnergyPerMBJ(r.Trace.AvgSignalDBm())
 			totJ += m.TotalJ()
 		}
-		n := float64(len(comp.Results))
+		n := float64(nt)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f", threshold), f1(wastedMB / n), f1(wastedJ / n), f1(totJ / n),
 		})
@@ -263,31 +287,42 @@ func (e *Env) AblationTailEnergy() (*Table, error) {
 		},
 	}
 	rrc := power.DefaultRRC()
-	for _, resumeSec := range []float64{30, 20, 10, 5} {
+	resumes := []float64{30, 20, 10, 5}
+	nt := len(comp.Results)
+	metrics := make([]*sim.Metrics, len(resumes)*nt)
+	if err := runUnits(len(metrics), func(unit int) error {
+		resumeSec, r := resumes[unit/nt], comp.Results[unit%nt]
+		man, err := e.Manifest(r.Trace)
+		if err != nil {
+			return err
+		}
+		m, err := sim.TraceSession{
+			Trace:              r.Trace,
+			Manifest:           man,
+			Algorithm:          core.NewOnline(obj),
+			Power:              e.EvalPower,
+			QoE:                e.QoE,
+			ThresholdSec:       player.DefaultBufferThresholdSec,
+			ResumeThresholdSec: resumeSec,
+			RRC:                &rrc,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		metrics[unit] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ri, resumeSec := range resumes {
 		var ctlJ, totJ, rebufSec float64
-		for _, r := range comp.Results {
-			man, err := sim.ManifestForTrace(r.Trace, e.Ladder)
-			if err != nil {
-				return nil, err
-			}
-			m, err := sim.TraceSession{
-				Trace:              r.Trace,
-				Manifest:           man,
-				Algorithm:          core.NewOnline(obj),
-				Power:              e.EvalPower,
-				QoE:                e.QoE,
-				ThresholdSec:       player.DefaultBufferThresholdSec,
-				ResumeThresholdSec: resumeSec,
-				RRC:                &rrc,
-			}.Run()
-			if err != nil {
-				return nil, err
-			}
+		for ti := 0; ti < nt; ti++ {
+			m := metrics[ri*nt+ti]
 			ctlJ += m.RadioCtlJ
 			totJ += m.TotalJ()
 			rebufSec += m.RebufferSec
 		}
-		n := float64(len(comp.Results))
+		n := float64(nt)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f", resumeSec), f1(ctlJ / n), f1(totJ / n), f1(rebufSec / n),
 		})

@@ -27,34 +27,54 @@ func (e *Env) ExtendedRobustness() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for campaign := 0; campaign < 3; campaign++ {
-		specs := trace.TableVSpecs()
+	// One pool unit per campaign × trace; a unit regenerates its trace
+	// and replays the three algorithms on it. Units are independent
+	// (fresh traces, fresh algorithm instances), and the per-campaign
+	// averages are accumulated afterwards in the sequential order.
+	const campaigns = 3
+	specs := trace.TableVSpecs()
+	nt := len(specs)
+	type sessionTriple struct{ save, degr, festSave float64 }
+	triples := make([]sessionTriple, campaigns*nt)
+	if err := runUnits(len(triples), func(unit int) error {
+		campaign, spec := unit/nt, specs[unit%nt]
+		spec.Seed += int64(campaign * 1000)
+		tr, err := trace.Generate(spec, e.EvalPower.NominalThroughputMBps)
+		if err != nil {
+			return fmt.Errorf("eval: campaign %d trace %d: %w", campaign, spec.ID, err)
+		}
+		man, err := sim.ManifestForTrace(tr, e.Ladder)
+		if err != nil {
+			return err
+		}
+		yt, err := sim.RunOnTrace(tr, man, abr.NewYoutube(), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
+		if err != nil {
+			return err
+		}
+		ours, err := sim.RunOnTrace(tr, man, core.NewOnline(obj), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
+		if err != nil {
+			return err
+		}
+		fest, err := sim.RunOnTrace(tr, man, abr.NewFESTIVE(), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
+		if err != nil {
+			return err
+		}
+		triples[unit] = sessionTriple{
+			save:     1 - ours.TotalJ()/yt.TotalJ(),
+			degr:     1 - ours.MeanQoE/yt.MeanQoE,
+			festSave: 1 - fest.TotalJ()/yt.TotalJ(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for campaign := 0; campaign < campaigns; campaign++ {
 		var save, degr, festSave, n float64
-		for _, spec := range specs {
-			spec.Seed += int64(campaign * 1000)
-			tr, err := trace.Generate(spec, e.EvalPower.NominalThroughputMBps)
-			if err != nil {
-				return nil, fmt.Errorf("eval: campaign %d trace %d: %w", campaign, spec.ID, err)
-			}
-			man, err := sim.ManifestForTrace(tr, e.Ladder)
-			if err != nil {
-				return nil, err
-			}
-			yt, err := sim.RunOnTrace(tr, man, abr.NewYoutube(), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
-			if err != nil {
-				return nil, err
-			}
-			ours, err := sim.RunOnTrace(tr, man, core.NewOnline(obj), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
-			if err != nil {
-				return nil, err
-			}
-			fest, err := sim.RunOnTrace(tr, man, abr.NewFESTIVE(), e.EvalPower, e.QoE, player.DefaultBufferThresholdSec)
-			if err != nil {
-				return nil, err
-			}
-			save += 1 - ours.TotalJ()/yt.TotalJ()
-			degr += 1 - ours.MeanQoE/yt.MeanQoE
-			festSave += 1 - fest.TotalJ()/yt.TotalJ()
+		for ti := 0; ti < nt; ti++ {
+			tr := triples[campaign*nt+ti]
+			save += tr.save
+			degr += tr.degr
+			festSave += tr.festSave
 			n++
 		}
 		t.Rows = append(t.Rows, []string{

@@ -28,8 +28,14 @@ func (e *Env) AblationSegmentDuration() (*Table, error) {
 			"short segments never exit slow start, inflating radio-on time at equal payload",
 		},
 	}
+	if len(comp.Results) < 2 {
+		return nil, fmt.Errorf("eval: segment-duration ablation needs trace 2, comparison has %d traces", len(comp.Results))
+	}
 	tr := comp.Results[1].Trace // the strong-signal trace isolates the ramp effect
-	for _, segSec := range []float64{1, 2, 4, 6} {
+	durations := []float64{1, 2, 4, 6}
+	rows := make([][]string, len(durations))
+	if err := runUnits(len(durations), func(i int) error {
+		segSec := durations[i]
 		video := dash.Video{
 			Title:        fmt.Sprintf("segdur-%v", segSec),
 			SpatialInfo:  45,
@@ -41,11 +47,11 @@ func (e *Env) AblationSegmentDuration() (*Table, error) {
 			Seed:       int64(2000 + int(segSec)),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		link, err := tr.Link()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m, err := sim.Run(sim.Config{
 			Manifest:   man,
@@ -56,7 +62,7 @@ func (e *Env) AblationSegmentDuration() (*Table, error) {
 			TCPRampSec: 0.5,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var thSum float64
 		for _, s := range m.Segments {
@@ -66,9 +72,13 @@ func (e *Env) AblationSegmentDuration() (*Table, error) {
 		if len(m.Segments) > 0 {
 			eff = thSum / float64(len(m.Segments))
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprintf("%.0f", segSec), f1(eff), f1(m.DownloadJ), f1(m.TotalJ()), f1(m.RebufferSec),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }

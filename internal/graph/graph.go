@@ -47,6 +47,19 @@ func New(n int) *Graph {
 // Len returns the node count.
 func (g *Graph) Len() int { return len(g.adj) }
 
+// Reserve grows node u's adjacency list capacity to hold at least n
+// edges, so a caller that knows the out-degree up front (the planner's
+// layered verify graph does) avoids append's incremental reallocation.
+// Out-of-range nodes are ignored.
+func (g *Graph) Reserve(u, n int) {
+	if u < 0 || u >= len(g.adj) || n <= cap(g.adj[u]) {
+		return
+	}
+	edges := make([]Edge, len(g.adj[u]), n)
+	copy(edges, g.adj[u])
+	g.adj[u] = edges
+}
+
 // AddEdge adds a directed edge u -> v with the given weight.
 func (g *Graph) AddEdge(u, v int, weight float64) error {
 	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {

@@ -250,3 +250,23 @@ func TestDijkstraMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+func TestReserve(t *testing.T) {
+	g := New(3)
+	g.Reserve(0, 8)
+	for i := 0; i < 8; i++ {
+		if err := g.AddEdge(0, 1, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(g.Edges(0)); got != 8 {
+		t.Errorf("edges = %d, want 8", got)
+	}
+	// Reserving below current capacity or out of range is a no-op.
+	g.Reserve(0, 1)
+	g.Reserve(-1, 4)
+	g.Reserve(99, 4)
+	if got := len(g.Edges(0)); got != 8 {
+		t.Errorf("edges after no-op reserves = %d, want 8", got)
+	}
+}

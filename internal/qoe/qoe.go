@@ -125,12 +125,30 @@ type Segment struct {
 //
 // clamped to the five-level scale.
 func (m Model) SegmentQoE(s Segment) float64 {
-	q := m.PerceivedQuality(s.BitrateMbps, s.Vibration)
+	q0Prev := 0.0
 	if s.PrevBitrateMbps > 0 {
-		q -= m.SwitchPenalty * math.Abs(m.OriginalQuality(s.BitrateMbps)-m.OriginalQuality(s.PrevBitrateMbps))
+		q0Prev = m.OriginalQuality(s.PrevBitrateMbps)
 	}
-	if s.RebufferSec > 0 {
-		q -= m.RebufferPenalty * s.RebufferSec
+	return m.SegmentQoEParts(
+		m.PerceivedQuality(s.BitrateMbps, s.Vibration),
+		m.OriginalQuality(s.BitrateMbps),
+		s.PrevBitrateMbps, q0Prev, s.RebufferSec)
+}
+
+// SegmentQoEParts evaluates Eq. 1 from pre-computed curve values:
+// perceived = PerceivedQuality(r, v), q0 = OriginalQuality(r), and
+// q0Prev = OriginalQuality(r_prev) (ignored when prevBitrateMbps <= 0,
+// where no switch penalty applies). Given consistent inputs it is
+// bit-identical to SegmentQoE; hot loops that score one rung against
+// many previous rungs (the optimal planner's DP) use it to hoist the
+// transcendental curve evaluations out of the inner loop.
+func (m Model) SegmentQoEParts(perceived, q0, prevBitrateMbps, q0Prev, rebufferSec float64) float64 {
+	q := perceived
+	if prevBitrateMbps > 0 {
+		q -= m.SwitchPenalty * math.Abs(q0-q0Prev)
+	}
+	if rebufferSec > 0 {
+		q -= m.RebufferPenalty * rebufferSec
 	}
 	if q < MinQuality {
 		return MinQuality
