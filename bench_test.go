@@ -12,6 +12,7 @@ import (
 
 	"ecavs"
 	"ecavs/internal/abr"
+	"ecavs/internal/campaign"
 	"ecavs/internal/core"
 	"ecavs/internal/dash"
 	"ecavs/internal/eval"
@@ -173,6 +174,84 @@ func BenchmarkOptimalPlanner(b *testing.B) {
 		if _, err := core.PlanOptimal(obj, dash.EvalLadder(), tasks); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionAllocs pins the allocation-free hot path: one
+// metrics-only trace replay per iteration with every derived input
+// (manifest, algorithm state) prebuilt where the campaign runner would
+// prebuild it. The allocs/op figure is the tracked budget — it is what
+// keeps a million-session campaign out of the garbage collector.
+func BenchmarkSessionAllocs(b *testing.B) {
+	tr := benchTrace(b)
+	man, err := sim.ManifestForTrace(tr, dash.EvalLadder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, qm := power.EvalModel(), qoe.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.TraceSession{
+			Trace:       tr,
+			Manifest:    man,
+			Algorithm:   abr.NewFESTIVE(),
+			Power:       pm,
+			QoE:         qm,
+			MetricsOnly: true,
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.TotalJ() <= 0 {
+			b.Fatal("degenerate session")
+		}
+	}
+}
+
+// BenchmarkCampaign10k runs a full 10000-session Monte-Carlo campaign
+// per iteration (mixed algorithms, abandonment and vibration draws)
+// and reports throughput as sessions/sec. The traces are shorter than
+// the Table V commutes so the benchmark finishes in seconds; per-trace
+// cost scales linearly with length.
+func BenchmarkCampaign10k(b *testing.B) {
+	rate := power.EvalModel().NominalThroughputMBps
+	specs := []trace.Spec{
+		{ID: 1, Name: "bench-bus", LengthSec: 180, DataSizeMB: 59, TargetVibration: 6.8,
+			SignalMeanDBm: -107, SignalVolatilityDB: 3, SignalSwingDB: 5,
+			CapAt90Mbps: 40, CapDecadeDB: 25, Seed: 201},
+		{ID: 2, Name: "bench-train", LengthSec: 240, DataSizeMB: 80, TargetVibration: 2.5,
+			SignalMeanDBm: -94, SignalVolatilityDB: 1.5, SignalSwingDB: 2,
+			CapAt90Mbps: 40, CapDecadeDB: 25, Seed: 202},
+	}
+	traces := make([]*trace.Trace, 0, len(specs))
+	for _, s := range specs {
+		tr, err := trace.Generate(s, rate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	cfg := campaign.Config{
+		Traces:          traces,
+		Sessions:        10_000,
+		Seed:            1,
+		AbandonProb:     0.25,
+		VibrationJitter: 0.3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Algorithms) == 0 {
+			b.Fatal("empty campaign result")
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cfg.Sessions)*float64(b.N)/sec, "sessions/sec")
 	}
 }
 

@@ -165,21 +165,35 @@ func loadSnapshot(path string) (map[string]Result, error) {
 	return m, nil
 }
 
-// compare prints a per-benchmark delta table and returns an error when
-// any benchmark regressed beyond the threshold on ns/op or allocs/op.
+// compare prints a per-benchmark delta table — including benchmarks
+// present in only one snapshot, reported as added or removed — and
+// returns an error when any shared benchmark regressed beyond the
+// threshold on ns/op or allocs/op. Added and removed benchmarks never
+// fail the comparison (new benchmarks have no baseline; deletions are
+// deliberate), but they are printed so a silently vanished benchmark
+// cannot masquerade as a clean run.
 func compare(w io.Writer, oldRes, newRes map[string]Result, threshold float64) error {
-	names := make([]string, 0, len(newRes))
+	var shared, added, removed []string
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
-			names = append(names, name)
+			shared = append(shared, name)
+		} else {
+			added = append(added, name)
 		}
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(shared) == 0 {
 		return fmt.Errorf("snapshots share no benchmarks")
 	}
 	var regressions []string
-	for _, name := range names {
+	for _, name := range shared {
 		o, n := oldRes[name], newRes[name]
 		dns := delta(o.NsPerOp, n.NsPerOp)
 		dal := delta(o.AllocsOp, n.AllocsOp)
@@ -191,11 +205,22 @@ func compare(w io.Writer, oldRes, newRes map[string]Result, threshold float64) e
 		fmt.Fprintf(w, "%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
 			mark, name, o.NsPerOp, n.NsPerOp, 100*dns, o.AllocsOp, n.AllocsOp, 100*dal)
 	}
+	for _, name := range added {
+		n := newRes[name]
+		fmt.Fprintf(w, "+ %-40s ns/op %12s -> %12.0f            allocs/op %8s -> %8.0f          (added)\n",
+			name, "-", n.NsPerOp, "-", n.AllocsOp)
+	}
+	for _, name := range removed {
+		o := oldRes[name]
+		fmt.Fprintf(w, "- %-40s ns/op %12.0f -> %12s            allocs/op %8.0f -> %8s          (removed)\n",
+			name, o.NsPerOp, "-", o.AllocsOp, "-")
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
 			len(regressions), 100*threshold, strings.Join(regressions, ", "))
 	}
-	fmt.Fprintf(w, "OK: %d benchmarks within %.0f%% of baseline\n", len(names), 100*threshold)
+	fmt.Fprintf(w, "OK: %d benchmarks within %.0f%% of baseline (%d added, %d removed)\n",
+		len(shared), 100*threshold, len(added), len(removed))
 	return nil
 }
 

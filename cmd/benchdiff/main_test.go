@@ -106,6 +106,39 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestCompareReportsAddedAndRemoved(t *testing.T) {
+	oldRes := map[string]Result{
+		"Shared":  {Name: "Shared", NsPerOp: 100, AllocsOp: 10},
+		"OldOnly": {Name: "OldOnly", NsPerOp: 50, AllocsOp: 5},
+	}
+	newRes := map[string]Result{
+		"Shared":  {Name: "Shared", NsPerOp: 105, AllocsOp: 10},
+		"NewOnly": {Name: "NewOnly", NsPerOp: 200, AllocsOp: 20},
+	}
+	var buf bytes.Buffer
+	if err := compare(&buf, oldRes, newRes, 0.20); err != nil {
+		t.Fatalf("added/removed benchmarks must not fail the comparison: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+ NewOnly", "(added)", "- OldOnly", "(removed)", "1 added, 1 removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The added benchmark's numbers appear even without a baseline.
+	if !strings.Contains(out, "200") || !strings.Contains(out, "20") {
+		t.Errorf("added benchmark's measurements not printed:\n%s", out)
+	}
+}
+
+func TestCompareNoSharedBenchmarks(t *testing.T) {
+	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 1}}
+	newRes := map[string]Result{"B": {Name: "B", NsPerOp: 1}}
+	if err := compare(&bytes.Buffer{}, oldRes, newRes, 0.20); err == nil {
+		t.Fatal("disjoint snapshots must error rather than pass vacuously")
+	}
+}
+
 func TestRunRejectsMissingArgs(t *testing.T) {
 	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("want usage error, got nil")

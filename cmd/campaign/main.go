@@ -1,0 +1,86 @@
+// Command campaign runs a Monte-Carlo fleet of streaming sessions over
+// the Table V traces and prints per-algorithm aggregate statistics.
+//
+// Usage:
+//
+//	campaign                          # 1000 sessions, defaults
+//	campaign -sessions 100000 -seed 7 -abandon 0.25 -vib-jitter 0.3
+//	campaign -json                    # machine-readable result on stdout
+//
+// Results are deterministic for a fixed (-seed, -shards) pair; -shards
+// defaults to GOMAXPROCS, so pin it when comparing runs across
+// machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ecavs/internal/campaign"
+	"ecavs/internal/power"
+	"ecavs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	sessions := fs.Int("sessions", 1000, "total session count across all algorithms")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	shards := fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+	abandon := fs.Float64("abandon", 0.25, "per-session early-quit probability")
+	vibJitter := fs.Float64("vib-jitter", 0.3, "uniform relative jitter on sensed vibration, in [0,1)")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	traces, err := trace.GenerateTableV(power.EvalModel().NominalThroughputMBps)
+	if err != nil {
+		return err
+	}
+	cfg := campaign.Config{
+		Traces:          traces,
+		Sessions:        *sessions,
+		Seed:            *seed,
+		Shards:          *shards,
+		AbandonProb:     *abandon,
+		VibrationJitter: *vibJitter,
+	}
+	start := time.Now()
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("Campaign: %d sessions, seed %d, %d shards, abandon %.2f, vib jitter %.2f\n\n",
+		res.Sessions, res.Seed, res.Shards, *abandon, *vibJitter)
+	fmt.Printf("%-9s %8s %6s | %36s | %20s | %16s | %14s\n",
+		"Algorithm", "Sessions", "Quit", "Energy J (mean±std p50/p95)", "QoE (mean±std)", "Rebuffer s", "Switches")
+	for _, a := range res.Algorithms {
+		fmt.Printf("%-9s %8d %6d | %9.1f ±%7.1f %8.1f/%8.1f | %6.3f ±%5.3f %6.3f | %7.2f %8.2f | %6.1f %7.1f\n",
+			a.Name, a.Sessions, a.Abandoned,
+			a.EnergyJ.Mean, a.EnergyJ.Std, a.EnergyJ.P50, a.EnergyJ.P95,
+			a.QoE.Mean, a.QoE.Std, a.QoE.P95,
+			a.RebufferSec.Mean, a.RebufferSec.P95,
+			a.Switches.Mean, a.Switches.P95)
+	}
+	fmt.Printf("\n%d sessions in %.2fs (%.0f sessions/sec)\n",
+		res.Sessions, elapsed.Seconds(), float64(res.Sessions)/elapsed.Seconds())
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package campaign runs Monte-Carlo fleets of streaming sessions: N
+// seeded session configurations (trace × algorithm × viewer-context
+// draws) sharded across a bounded worker pool, with results folded
+// into O(1)-memory streaming aggregates instead of being retained per
+// session. It is the scale layer above internal/sim — a million
+// sessions cost a million session replays but constant memory.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/core"
+	"ecavs/internal/dash"
+	"ecavs/internal/player"
+	"ecavs/internal/pool"
+	"ecavs/internal/power"
+	"ecavs/internal/qoe"
+	"ecavs/internal/sim"
+	"ecavs/internal/stats"
+	"ecavs/internal/trace"
+)
+
+// AlgorithmSpec names an ABR policy and builds fresh instances of it.
+// Each session gets its own instance (algorithms carry mutable
+// estimator state and must not be shared across concurrent replays).
+type AlgorithmSpec struct {
+	Name string
+	New  func() (abr.Algorithm, error)
+}
+
+// DefaultAlgorithms returns the campaign's standard policy set: the
+// three baselines plus the paper's online algorithm at the given
+// objective weight. The offline Optimal planner is deliberately
+// absent — it needs a per-trace plan precomputation that does not
+// amortize across random viewer-context draws.
+func DefaultAlgorithms(pm power.Model, qm qoe.Model, alpha float64) ([]AlgorithmSpec, error) {
+	obj, err := core.NewObjective(alpha, pm, qm)
+	if err != nil {
+		return nil, err
+	}
+	return []AlgorithmSpec{
+		{Name: "Youtube", New: func() (abr.Algorithm, error) { return abr.NewYoutube(), nil }},
+		{Name: "FESTIVE", New: func() (abr.Algorithm, error) { return abr.NewFESTIVE(), nil }},
+		{Name: "BBA", New: func() (abr.Algorithm, error) { return abr.NewBBA() }},
+		{Name: "Ours", New: func() (abr.Algorithm, error) { return core.NewOnline(obj), nil }},
+	}, nil
+}
+
+// Config describes a campaign.
+type Config struct {
+	// Traces are the session contexts sessions draw from (uniformly,
+	// per-session seeded). Required.
+	Traces []*trace.Trace
+	// Ladder is the encoding ladder (default dash.EvalLadder).
+	Ladder dash.Ladder
+	// Algorithms are the compared policies; sessions cycle through them
+	// round-robin so every policy sees the same number of sessions
+	// (default DefaultAlgorithms at core.DefaultAlpha).
+	Algorithms []AlgorithmSpec
+	// Sessions is the total session count across all algorithms.
+	Sessions int
+	// Seed makes the whole campaign reproducible: session u's draws
+	// come from an independent generator derived from (Seed, u), so
+	// results are identical for a fixed (Seed, Shards) regardless of
+	// scheduling.
+	Seed int64
+	// Shards is the worker count; sessions are assigned statically
+	// (session u belongs to shard u mod Shards) and shard aggregates
+	// merge in shard order, which is what keeps a run deterministic.
+	// Zero means GOMAXPROCS. Percentile estimates (and float rounding
+	// in the merged means) depend on the shard count, so pin Shards
+	// when comparing runs across machines.
+	Shards int
+	// AbandonProb is the per-session probability of an early quit; an
+	// abandoning viewer leaves uniformly between 10% and 90% of the
+	// video.
+	AbandonProb float64
+	// VibrationJitter scales each session's sensed vibration by a
+	// uniform draw in [1-j, 1+j] — the viewer-context spread (pocket vs
+	// hand vs mount) that a single recorded trace cannot supply.
+	VibrationJitter float64
+	// Power and QoE are the models (defaults power.EvalModel,
+	// qoe.Default).
+	Power power.Model
+	QoE   qoe.Model
+	// ThresholdSec is the buffer threshold beta (default
+	// player.DefaultBufferThresholdSec).
+	ThresholdSec float64
+}
+
+// Dist summarizes one metric's distribution over a campaign. P50 and
+// P95 come from per-shard P² estimators merged by count-weighted
+// average — a streaming approximation, converging as sessions grow.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// AlgoSummary is one policy's aggregate outcome.
+type AlgoSummary struct {
+	Name        string `json:"name"`
+	Sessions    int64  `json:"sessions"`
+	Abandoned   int64  `json:"abandoned"`
+	EnergyJ     Dist   `json:"energy_j"`
+	QoE         Dist   `json:"qoe"`
+	RebufferSec Dist   `json:"rebuffer_sec"`
+	Switches    Dist   `json:"switches"`
+}
+
+// Result is a campaign's full outcome. Memory is O(algorithms), not
+// O(sessions).
+type Result struct {
+	Sessions   int           `json:"sessions"`
+	Seed       int64         `json:"seed"`
+	Shards     int           `json:"shards"`
+	Algorithms []AlgoSummary `json:"algorithms"`
+}
+
+// metricAgg streams one metric: exact moments plus two quantile
+// markers.
+type metricAgg struct {
+	acc      stats.Accumulator
+	p50, p95 *stats.P2
+}
+
+func newMetricAgg() metricAgg {
+	return metricAgg{p50: stats.NewP2(0.50), p95: stats.NewP2(0.95)}
+}
+
+func (m *metricAgg) add(x float64) {
+	m.acc.Add(x)
+	m.p50.Add(x)
+	m.p95.Add(x)
+}
+
+// algoAgg is one shard's aggregate for one policy.
+type algoAgg struct {
+	energy, qoe, rebuf, switches metricAgg
+	abandoned                    int64
+}
+
+func newShardAgg(algos int) []algoAgg {
+	aggs := make([]algoAgg, algos)
+	for i := range aggs {
+		aggs[i] = algoAgg{
+			energy:   newMetricAgg(),
+			qoe:      newMetricAgg(),
+			rebuf:    newMetricAgg(),
+			switches: newMetricAgg(),
+		}
+	}
+	return aggs
+}
+
+func (a *algoAgg) observe(m *sim.Metrics) {
+	a.energy.add(m.TotalJ())
+	a.qoe.add(m.MeanQoE)
+	a.rebuf.add(m.RebufferSec)
+	a.switches.add(float64(m.Switches))
+	if m.Abandoned {
+		a.abandoned++
+	}
+}
+
+// sessionState derives session u's independent generator state from
+// the campaign seed (splitmix64 finalizer over seed + u·gamma, so
+// neighbouring sessions land in unrelated stream positions).
+func sessionState(seed int64, u int) uint64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(u+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniformRNG is the campaign's draw stream (splitmix64, matching the
+// power monitor's generator).
+type uniformRNG struct{ state uint64 }
+
+func (r *uniformRNG) Float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z^(z>>31))>>11) / (1 << 53)
+}
+
+// Run executes the campaign and returns its aggregate result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Sessions <= 0 {
+		return nil, errors.New("campaign: Sessions must be positive")
+	}
+	if len(cfg.Traces) == 0 {
+		return nil, errors.New("campaign: no traces")
+	}
+	if cfg.AbandonProb < 0 || cfg.AbandonProb > 1 {
+		return nil, errors.New("campaign: AbandonProb outside [0, 1]")
+	}
+	if cfg.VibrationJitter < 0 || cfg.VibrationJitter >= 1 {
+		return nil, errors.New("campaign: VibrationJitter outside [0, 1)")
+	}
+	pm := cfg.Power
+	if pm == (power.Model{}) {
+		pm = power.EvalModel()
+	}
+	qm := cfg.QoE
+	if qm == (qoe.Model{}) {
+		qm = qoe.Default()
+	}
+	ladder := cfg.Ladder
+	if len(ladder) == 0 {
+		ladder = dash.EvalLadder()
+	}
+	algos := cfg.Algorithms
+	if len(algos) == 0 {
+		var err error
+		if algos, err = DefaultAlgorithms(pm, qm, core.DefaultAlpha); err != nil {
+			return nil, err
+		}
+	}
+	threshold := cfg.ThresholdSec
+	if threshold <= 0 {
+		threshold = player.DefaultBufferThresholdSec
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Sessions {
+		shards = cfg.Sessions
+	}
+
+	// Manifests are derived once per trace and shared read-only across
+	// all sessions.
+	manifests := make([]*dash.Manifest, len(cfg.Traces))
+	for i, tr := range cfg.Traces {
+		man, err := sim.ManifestForTrace(tr, ladder)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: trace %d manifest: %w", tr.ID, err)
+		}
+		manifests[i] = man
+	}
+
+	shardAggs := make([][]algoAgg, shards)
+	err := pool.Run(shards, shards, func(shard int) error {
+		aggs := newShardAgg(len(algos))
+		shardAggs[shard] = aggs
+		for u := shard; u < cfg.Sessions; u += shards {
+			rng := uniformRNG{state: sessionState(cfg.Seed, u)}
+			ai := u % len(algos)
+			// Fixed draw order keeps the stream layout documented:
+			// trace, abandon gate, abandon point, vibration scale.
+			ti := int(rng.Float64() * float64(len(cfg.Traces)))
+			if ti >= len(cfg.Traces) {
+				ti = len(cfg.Traces) - 1
+			}
+			abandonGate := rng.Float64()
+			abandonFrac := rng.Float64()
+			vibFrac := rng.Float64()
+
+			alg, err := algos[ai].New()
+			if err != nil {
+				return fmt.Errorf("campaign: session %d %s: %w", u, algos[ai].Name, err)
+			}
+			ses := sim.TraceSession{
+				Trace:        cfg.Traces[ti],
+				Manifest:     manifests[ti],
+				Algorithm:    alg,
+				Power:        pm,
+				QoE:          qm,
+				ThresholdSec: threshold,
+				MetricsOnly:  true,
+			}
+			if abandonGate < cfg.AbandonProb {
+				ses.AbandonAtSec = (0.1 + 0.8*abandonFrac) * cfg.Traces[ti].LengthSec
+			}
+			if j := cfg.VibrationJitter; j > 0 {
+				ses.VibrationScale = 1 + j*(2*vibFrac-1)
+			}
+			m, err := ses.Run()
+			if err != nil {
+				return fmt.Errorf("campaign: session %d %s on trace %d: %w", u, algos[ai].Name, cfg.Traces[ti].ID, err)
+			}
+			aggs[ai].observe(m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Sessions: cfg.Sessions, Seed: cfg.Seed, Shards: shards}
+	for ai, spec := range algos {
+		var (
+			energy, qoeAcc, rebuf, switches stats.Accumulator
+			abandoned                       int64
+		)
+		perShard := func(pick func(*algoAgg) *metricAgg) (p50, p95 float64) {
+			var s50, s95 float64
+			var n int64
+			for _, aggs := range shardAggs {
+				m := pick(&aggs[ai])
+				if c := m.p50.N(); c > 0 {
+					s50 += m.p50.Value() * float64(c)
+					s95 += m.p95.Value() * float64(c)
+					n += c
+				}
+			}
+			if n == 0 {
+				return 0, 0
+			}
+			return s50 / float64(n), s95 / float64(n)
+		}
+		for _, aggs := range shardAggs {
+			a := &aggs[ai]
+			energy.Merge(a.energy.acc)
+			qoeAcc.Merge(a.qoe.acc)
+			rebuf.Merge(a.rebuf.acc)
+			switches.Merge(a.switches.acc)
+			abandoned += a.abandoned
+		}
+		dist := func(acc *stats.Accumulator, pick func(*algoAgg) *metricAgg) Dist {
+			p50, p95 := perShard(pick)
+			return Dist{Mean: acc.Mean(), Std: acc.StdDev(), Min: acc.Min(), Max: acc.Max(), P50: p50, P95: p95}
+		}
+		res.Algorithms = append(res.Algorithms, AlgoSummary{
+			Name:        spec.Name,
+			Sessions:    energy.N(),
+			Abandoned:   abandoned,
+			EnergyJ:     dist(&energy, func(a *algoAgg) *metricAgg { return &a.energy }),
+			QoE:         dist(&qoeAcc, func(a *algoAgg) *metricAgg { return &a.qoe }),
+			RebufferSec: dist(&rebuf, func(a *algoAgg) *metricAgg { return &a.rebuf }),
+			Switches:    dist(&switches, func(a *algoAgg) *metricAgg { return &a.switches }),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ecavs/internal/power"
+	"ecavs/internal/trace"
+)
+
+// testTraces generates two short session contexts (cheap enough that
+// the determinism test can afford dozens of replays).
+func testTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	rate := power.EvalModel().NominalThroughputMBps
+	specs := []trace.Spec{
+		{ID: 1, Name: "short-bus", LengthSec: 60, DataSizeMB: 20, TargetVibration: 6.5,
+			SignalMeanDBm: -106, SignalVolatilityDB: 3, SignalSwingDB: 5,
+			CapAt90Mbps: 40, CapDecadeDB: 25, Seed: 11},
+		{ID: 2, Name: "short-train", LengthSec: 80, DataSizeMB: 27, TargetVibration: 2.5,
+			SignalMeanDBm: -95, SignalVolatilityDB: 1.5, SignalSwingDB: 2,
+			CapAt90Mbps: 40, CapDecadeDB: 25, Seed: 12},
+	}
+	out := make([]*trace.Trace, 0, len(specs))
+	for _, s := range specs {
+		tr, err := trace.Generate(s, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestRunDeterministic(t *testing.T) {
+	traces := testTraces(t)
+	cfg := Config{
+		Traces:          traces,
+		Sessions:        24,
+		Seed:            7,
+		Shards:          4,
+		AbandonProb:     0.3,
+		VibrationJitter: 0.25,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same (Seed, Shards) produced different results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestRunShardCountPreservesMoments(t *testing.T) {
+	traces := testTraces(t)
+	base := Config{Traces: traces, Sessions: 16, Seed: 3, AbandonProb: 0.5, VibrationJitter: 0.2}
+
+	one := base
+	one.Shards = 1
+	four := base
+	four.Shards = 4
+	a, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session set is identical (draws depend only on Seed and the
+	// session index), so exact moments must agree up to merge-order
+	// float rounding. Percentiles are shard-dependent estimates and are
+	// not compared.
+	for i := range a.Algorithms {
+		sa, sb := a.Algorithms[i], b.Algorithms[i]
+		if sa.Sessions != sb.Sessions || sa.Abandoned != sb.Abandoned {
+			t.Errorf("%s: counts differ across shard counts: %+v vs %+v", sa.Name, sa, sb)
+		}
+		pairs := [][2]Dist{
+			{sa.EnergyJ, sb.EnergyJ}, {sa.QoE, sb.QoE},
+			{sa.RebufferSec, sb.RebufferSec}, {sa.Switches, sb.Switches},
+		}
+		for _, p := range pairs {
+			if rel := math.Abs(p[0].Mean - p[1].Mean); rel > 1e-9*(1+math.Abs(p[0].Mean)) {
+				t.Errorf("%s: mean differs across shard counts: %v vs %v", sa.Name, p[0].Mean, p[1].Mean)
+			}
+			if p[0].Min != p[1].Min || p[0].Max != p[1].Max {
+				t.Errorf("%s: min/max differ across shard counts", sa.Name)
+			}
+		}
+	}
+}
+
+func TestRunRoundRobinCounts(t *testing.T) {
+	traces := testTraces(t)
+	res, err := Run(Config{Traces: traces, Sessions: 10, Seed: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Algorithms) != 4 {
+		t.Fatalf("got %d algorithms, want the 4 defaults", len(res.Algorithms))
+	}
+	var total int64
+	for i, s := range res.Algorithms {
+		want := int64(10 / 4)
+		if i < 10%4 {
+			want++
+		}
+		if s.Sessions != want {
+			t.Errorf("%s ran %d sessions, want %d", s.Name, s.Sessions, want)
+		}
+		total += s.Sessions
+	}
+	if total != 10 {
+		t.Errorf("total sessions %d, want 10", total)
+	}
+}
+
+func TestRunAbandonmentCertain(t *testing.T) {
+	traces := testTraces(t)
+	// ThresholdSec 5 keeps the download paced close to playback, so
+	// every session's playback reaches its quit point while the
+	// download loop is still live (with the default 30 s threshold a
+	// short video can be fully buffered before the viewer quits, which
+	// the simulator reports as a completed session).
+	res, err := Run(Config{Traces: traces, Sessions: 8, Seed: 5, Shards: 2, AbandonProb: 1, ThresholdSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Algorithms {
+		if s.Abandoned != s.Sessions {
+			t.Errorf("%s: %d of %d sessions abandoned, want all", s.Name, s.Abandoned, s.Sessions)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	traces := testTraces(t)
+	cases := []Config{
+		{Traces: traces},                                  // no sessions
+		{Sessions: 4},                                     // no traces
+		{Traces: traces, Sessions: 4, AbandonProb: 1.5},   // bad probability
+		{Traces: traces, Sessions: 4, VibrationJitter: 1}, // bad jitter
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+}

@@ -1,58 +1,11 @@
 package eval
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "ecavs/internal/pool"
 
-// runUnits executes fn(0..n-1) on a bounded worker pool and returns
-// the error of the lowest-numbered failing unit, or nil.
-//
-// The pool is capped at GOMAXPROCS workers — the units are CPU-bound
-// trace replays, so more goroutines would only add scheduling churn.
-// Units are claimed off a shared atomic counter; after any unit fails,
-// workers stop claiming new units (first-error-wins cancellation) but
-// in-flight units run to completion. Each unit writes only its own
-// error slot, so the collection needs no lock, and callers that store
-// per-unit results index by unit number to keep assembly deterministic
-// regardless of completion order.
+// runUnits executes fn(0..n-1) on the shared bounded worker pool
+// (internal/pool) at GOMAXPROCS width, returning the error of the
+// lowest-numbered failing unit, or nil. See pool.Run for the claiming
+// and cancellation semantics.
 func runUnits(n int, fn func(unit int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-	)
-	next.Store(-1)
-	errs := make([]error, n)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				unit := int(next.Add(1))
-				if unit >= n || failed.Load() {
-					return
-				}
-				if err := fn(unit); err != nil {
-					errs[unit] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.Run(n, 0, fn)
 }

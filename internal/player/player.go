@@ -29,9 +29,17 @@ type Played struct {
 
 // Player is the client buffer. The zero value is not usable; construct
 // with New.
+//
+// The queue is a compacting ring: consumed segments advance a head
+// index instead of re-slicing the front off (which would pin the
+// consumed prefix's backing array for the whole session), and the
+// live tail is periodically copied back to the array start so the
+// backing capacity stays bounded by the deepest simultaneous queue,
+// not by the number of segments ever enqueued.
 type Player struct {
 	thresholdSec float64
 	queue        []Queued
+	head         int
 	started      bool
 
 	playedSec  float64
@@ -54,11 +62,15 @@ func New(thresholdSec float64) (*Player, error) {
 // BufferSec returns the buffered playback time.
 func (p *Player) BufferSec() float64 {
 	var sum float64
-	for _, q := range p.queue {
+	for _, q := range p.queue[p.head:] {
 		sum += q.DurationSec
 	}
 	return sum
 }
+
+// QueueCap reports the queue's backing-array capacity (test hook for
+// the bounded-growth guarantee).
+func (p *Player) QueueCap() int { return cap(p.queue) }
 
 // ThresholdSec returns the download-pacing threshold.
 func (p *Player) ThresholdSec() float64 { return p.thresholdSec }
@@ -84,17 +96,32 @@ func (p *Player) OnSegment(durationSec, bitrateMbps float64) {
 // playback stretches consumed (for decode-power attribution) and the
 // stall time within dt. Time before the first segment arrives counts
 // as startup, not stall.
+//
+// Drain allocates the returned slice; hot loops should use DrainInto.
 func (p *Player) Drain(dt float64) (played []Played, stallSec float64) {
+	stallSec = p.DrainInto(dt, func(st Played) {
+		played = append(played, st)
+	})
+	return played, stallSec
+}
+
+// DrainInto is Drain without the allocation: each maximal contiguous
+// stretch of playback at one bitrate is passed to emit (which may be
+// nil) in playback order. The stretches and the returned stall are
+// identical to Drain's.
+func (p *Player) DrainInto(dt float64, emit func(Played)) (stallSec float64) {
 	if dt <= 0 {
-		return nil, 0
+		return 0
 	}
 	if !p.started {
 		p.startupSec += dt
-		return nil, 0
+		return 0
 	}
 	remaining := dt
-	for remaining > 1e-12 && len(p.queue) > 0 {
-		q := &p.queue[0]
+	var cur Played
+	haveCur := false
+	for remaining > 1e-12 && p.head < len(p.queue) {
+		q := &p.queue[p.head]
 		consume := q.DurationSec
 		if consume > remaining {
 			consume = remaining
@@ -102,31 +129,61 @@ func (p *Player) Drain(dt float64) (played []Played, stallSec float64) {
 		q.DurationSec -= consume
 		remaining -= consume
 		p.playedSec += consume
-		if n := len(played); n > 0 && played[n-1].BitrateMbps == q.BitrateMbps {
-			played[n-1].DurationSec += consume
+		if haveCur && cur.BitrateMbps == q.BitrateMbps {
+			cur.DurationSec += consume
 		} else {
-			played = append(played, Played{DurationSec: consume, BitrateMbps: q.BitrateMbps})
+			if haveCur && emit != nil {
+				emit(cur)
+			}
+			cur = Played{DurationSec: consume, BitrateMbps: q.BitrateMbps}
+			haveCur = true
 		}
 		if q.DurationSec <= 1e-12 {
-			p.queue = p.queue[1:]
+			p.pop()
 		}
+	}
+	if haveCur && emit != nil {
+		emit(cur)
 	}
 	if remaining > 1e-12 {
 		p.stallSec += remaining
 		stallSec = remaining
 	}
-	return played, stallSec
+	return stallSec
+}
+
+// pop consumes the head segment, compacting the ring so the backing
+// array never grows past roughly twice the deepest live queue.
+func (p *Player) pop() {
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+		return
+	}
+	if p.head >= 16 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
 }
 
 // FinishRemaining plays out whatever is buffered and returns the
 // stretches, leaving the buffer empty. Used after the last download.
 func (p *Player) FinishRemaining() []Played {
-	played, _ := p.Drain(p.BufferSec() + 1e-9)
+	var played []Played
+	p.FinishRemainingInto(func(st Played) { played = append(played, st) })
+	return played
+}
+
+// FinishRemainingInto is FinishRemaining without the allocation: the
+// stretches are passed to emit (which may be nil) in playback order.
+func (p *Player) FinishRemainingInto(emit func(Played)) {
+	p.DrainInto(p.BufferSec()+1e-9, emit)
 	// The epsilon overshoot must not register as a stall.
 	if p.stallSec > 0 && p.stallSec < 1e-6 {
 		p.stallSec = 0
 	}
-	return played
 }
 
 // PlayedSec returns total playback time so far.

@@ -186,3 +186,71 @@ func TestConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQueueCapacityBounded guards the ring-buffer fix: a steady-state
+// session (enqueue one segment, drain one segment, thousands of times)
+// must not grow the queue's backing array with the number of segments
+// ever enqueued. The old p.queue = p.queue[1:] implementation retained
+// every consumed entry's slot and failed this test.
+func TestQueueCapacityBounded(t *testing.T) {
+	p, err := New(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		segments = 20_000
+		depth    = 8 // live queue depth held during the run
+	)
+	for i := 0; i < depth; i++ {
+		p.OnSegment(2, 1.5)
+	}
+	for i := 0; i < segments; i++ {
+		p.OnSegment(2, float64(i%3)+1)
+		if _, stall := p.Drain(2); stall != 0 {
+			t.Fatalf("unexpected stall at segment %d", i)
+		}
+	}
+	if got := p.QueueCap(); got > 4*depth+16 {
+		t.Errorf("queue capacity grew to %d for a depth-%d session; want bounded", got, depth)
+	}
+	if want := float64(depth * 2); math.Abs(p.BufferSec()-want) > 1e-6 {
+		t.Errorf("BufferSec = %v, want %v", p.BufferSec(), want)
+	}
+}
+
+// TestDrainIntoMatchesDrain pins the callback API to the allocating
+// one: same stretches, same stall, same player state.
+func TestDrainIntoMatchesDrain(t *testing.T) {
+	build := func() *Player {
+		p, err := New(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.OnSegment(2, 1)
+		p.OnSegment(2, 1)
+		p.OnSegment(2, 3)
+		p.OnSegment(1, 2)
+		return p
+	}
+	a, b := build(), build()
+	for _, dt := range []float64{0.5, 3.2, 1.1, 9} {
+		played, stallA := a.Drain(dt)
+		var viaEmit []Played
+		stallB := b.DrainInto(dt, func(st Played) { viaEmit = append(viaEmit, st) })
+		if stallA != stallB {
+			t.Fatalf("stall mismatch at dt=%v: %v vs %v", dt, stallA, stallB)
+		}
+		if len(played) != len(viaEmit) {
+			t.Fatalf("stretch count mismatch at dt=%v: %v vs %v", dt, played, viaEmit)
+		}
+		for i := range played {
+			if played[i] != viaEmit[i] {
+				t.Fatalf("stretch %d mismatch at dt=%v: %v vs %v", i, dt, played[i], viaEmit[i])
+			}
+		}
+	}
+	if a.PlayedSec() != b.PlayedSec() || a.StallSec() != b.StallSec() || a.BufferSec() != b.BufferSec() {
+		t.Errorf("diverged state: played %v/%v stall %v/%v buffer %v/%v",
+			a.PlayedSec(), b.PlayedSec(), a.StallSec(), b.StallSec(), a.BufferSec(), b.BufferSec())
+	}
+}

@@ -1,0 +1,64 @@
+// Package pool provides the bounded worker pool shared by the
+// parallel evaluation engine and the Monte-Carlo campaign runner:
+// CPU-bound units are claimed off an atomic counter by a fixed set of
+// goroutines, with first-error-wins cancellation.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0..n-1) on a bounded worker pool and returns the
+// error of the lowest-numbered failing unit, or nil.
+//
+// workers caps the pool size; zero or negative means GOMAXPROCS (the
+// units are CPU-bound, so more goroutines would only add scheduling
+// churn). Units are claimed off a shared atomic counter; after any
+// unit fails, workers stop claiming new units (first-error-wins
+// cancellation) but in-flight units run to completion. Each unit
+// writes only its own error slot, so the collection needs no lock,
+// and callers that store per-unit results index by unit number to
+// keep assembly deterministic regardless of completion order.
+func Run(n, workers int, fn func(unit int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				unit := int(next.Add(1))
+				if unit >= n || failed.Load() {
+					return
+				}
+				if err := fn(unit); err != nil {
+					errs[unit] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllUnits(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := Run(n, 4, func(u int) error {
+		hits[u].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for u := range hits {
+		if got := hits[u].Load(); got != 1 {
+			t.Errorf("unit %d ran %d times", u, got)
+		}
+	}
+}
+
+func TestRunZeroUnits(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaultsWorkers(t *testing.T) {
+	var ran atomic.Int32
+	if err := Run(10, 0, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10 units", ran.Load())
+	}
+}
+
+func TestRunReturnsLowestFailingUnit(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Run(8, 1, func(u int) error {
+		if u == 3 || u == 5 {
+			return fmt.Errorf("unit %d: %w", u, sentinel)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if got := err.Error(); got != "unit 3: boom" {
+		t.Errorf("err = %q, want the lowest-numbered failure", got)
+	}
+}
+
+func TestRunStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(10_000, 1, func(u int) error {
+		ran.Add(1)
+		if u == 0 {
+			return errors.New("fail fast")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// A single worker sees the failure flag after at most one more
+	// claim; the run must not have churned through all 10k units.
+	if got := ran.Load(); got > 2 {
+		t.Errorf("%d units ran after an immediate failure", got)
+	}
+}

@@ -131,3 +131,42 @@ func TestMeasureSessionPartialTrailingSegment(t *testing.T) {
 		t.Errorf("elapsed = %v, want 9", mo.ElapsedSec())
 	}
 }
+
+// TestNormRNGMoments sanity-checks the inlined ziggurat generator: the
+// first four moments and the central-interval mass of a large sample
+// must match the standard normal.
+func TestNormRNGMoments(t *testing.T) {
+	rng := normRNG{state: 12345}
+	const n = 500_000
+	var sum, sumSq, sumCube, sumQuad float64
+	within1 := 0
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		sum += x
+		sumSq += x * x
+		sumCube += x * x * x
+		sumQuad += x * x * x * x
+		if x > -1 && x < 1 {
+			within1++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCube / n
+	kurt := sumQuad / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("skewness = %v, want ~0", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("kurtosis = %v, want ~3", kurt)
+	}
+	if p := float64(within1) / n; math.Abs(p-0.6827) > 0.01 {
+		t.Errorf("P(|x|<1) = %v, want ~0.683", p)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ecavs/internal/abr"
+	"ecavs/internal/power"
+)
+
+// TestMetricsOnlyIdentical proves the acceptance contract of the
+// allocation-free mode: with MetricsOnly set, every scalar Metrics
+// field is bit-identical to the full-log run — only the Segments slice
+// is withheld. The variants cover the paths that branch on per-segment
+// state: plain playback, early abandonment (waste attribution walks
+// the fetched-segment sizes), RRC tail energy, and pacing hysteresis.
+func TestMetricsOnlyIdentical(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(cfg *Config)
+	}{
+		{"plain", func(cfg *Config) {}},
+		{"abandoned", func(cfg *Config) { cfg.AbandonAtSec = 30 }},
+		{"rrc", func(cfg *Config) {
+			rrc := power.DefaultRRC()
+			cfg.RRC = &rrc
+		}},
+		{"hysteresis", func(cfg *Config) {
+			cfg.BufferThresholdSec = 30
+			cfg.ResumeThresholdSec = 10
+		}},
+		{"ramp", func(cfg *Config) { cfg.TCPRampSec = 1 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func(metricsOnly bool) *Metrics {
+				link := &fixedLink{signal: -95, rate: 1.5}
+				cfg := baseConfig(t, abr.NewFESTIVE(), link)
+				cfg.Manifest = testManifest(t, 120)
+				cfg.VibrationAt = func(tSec float64) float64 { return 3 + 2*float64(int(tSec)%5) }
+				v.mutate(&cfg)
+				cfg.MetricsOnly = metricsOnly
+				m, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			full, lean := run(false), run(true)
+
+			if lean.Segments != nil {
+				t.Errorf("MetricsOnly retained %d segment logs", len(lean.Segments))
+			}
+			if len(full.Segments) == 0 {
+				t.Fatal("full run produced no segment logs")
+			}
+			fullScalars, leanScalars := *full, *lean
+			fullScalars.Segments, leanScalars.Segments = nil, nil
+			if !reflect.DeepEqual(fullScalars, leanScalars) {
+				t.Errorf("metrics diverge:\nfull = %+v\nlean = %+v", fullScalars, leanScalars)
+			}
+		})
+	}
+}

@@ -38,6 +38,15 @@ type TraceSession struct {
 	// RRC, when non-nil, enables the LTE radio-state machine (see
 	// Config.RRC).
 	RRC *power.RRCConfig
+	// AbandonAtSec ends playback early (see Config.AbandonAtSec).
+	AbandonAtSec float64
+	// VibrationScale multiplies the sensed vibration level (Monte-Carlo
+	// viewer-context draws). Zero means 1 (unscaled); ForceVibration
+	// takes precedence.
+	VibrationScale float64
+	// MetricsOnly skips per-segment log retention (see
+	// Config.MetricsOnly).
+	MetricsOnly bool
 }
 
 // Run replays the session.
@@ -60,6 +69,10 @@ func (s TraceSession) Run() (*Metrics, error) {
 		window = vibration.DefaultWindowSec
 	}
 	vibAt := func(t float64) float64 { return s.Trace.VibrationAt(t, window) }
+	if scale := s.VibrationScale; scale > 0 && scale != 1 {
+		tr := s.Trace
+		vibAt = func(t float64) float64 { return scale * tr.VibrationAt(t, window) }
+	}
 	if s.ForceVibration != nil {
 		v := *s.ForceVibration
 		vibAt = func(float64) float64 { return v }
@@ -74,6 +87,8 @@ func (s TraceSession) Run() (*Metrics, error) {
 		BufferThresholdSec: s.ThresholdSec,
 		ResumeThresholdSec: s.ResumeThresholdSec,
 		RRC:                s.RRC,
+		AbandonAtSec:       s.AbandonAtSec,
+		MetricsOnly:        s.MetricsOnly,
 	})
 }
 

@@ -56,6 +56,13 @@ type Config struct {
 	// each segment download: the rate climbs linearly to the link rate
 	// over this many seconds, penalising very short segments.
 	TCPRampSec float64
+	// MetricsOnly skips the per-segment SegmentLog accumulation:
+	// Metrics.Segments stays nil while every scalar field is computed
+	// exactly as in the full-log mode. Campaign runs simulating many
+	// thousands of sessions use it to keep the per-session hot path
+	// allocation-free; the default (full logs) is what cmd/experiments
+	// and the figure pipelines consume.
+	MetricsOnly bool
 }
 
 // SegmentLog records one task's outcome.
@@ -189,24 +196,48 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 	ladder := cfg.Manifest.Ladder()
 	n := cfg.Manifest.SegmentCount()
-	m := &Metrics{
-		Algorithm: cfg.Algorithm.Name(),
-		Segments:  make([]SegmentLog, 0, n),
+	m := &Metrics{Algorithm: cfg.Algorithm.Name()}
+	if !cfg.MetricsOnly {
+		m.Segments = make([]SegmentLog, 0, n)
 	}
 	startTime := cfg.Link.Now()
 	prevRung := -1
 
+	// Per-session scratch, sized once so the per-segment loop stays
+	// allocation-free: the rung-size vector handed to the algorithm,
+	// the fetched payload per segment (abandonment waste attribution),
+	// and the per-segment QoE scores for the session model. The scalar
+	// accumulators replace the post-loop passes over Metrics.Segments;
+	// they add the same terms in the same order, so the results are
+	// bit-identical to the log-driven computation.
+	var (
+		sizes    = make([]float64, len(ladder))
+		segSizes = make([]float64, 0, n)
+		scores   = make([]qoe.SegmentScore, 0, n)
+
+		qoeSum, brWeighted, durSum float64
+	)
+
 	// drain plays dt seconds of buffered video, integrating decode and
 	// stall power.
+	onPlayed := func(st player.Played) {
+		m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
+	}
 	drain := func(dt float64) (stallSec float64) {
-		played, stall := pl.Drain(dt)
-		for _, st := range played {
-			m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
-		}
+		stall := pl.DrainInto(dt, onPlayed)
 		if stall > 0 {
 			m.RebufferJ += cfg.Power.RebufferPowerW * stall
 		}
 		return stall
+	}
+
+	// onStep integrates radio power over one download step; segStall
+	// accumulates the stall attributed to the in-flight segment. Both
+	// live outside the loop so the closure is built once per session.
+	var segStall float64
+	onStep := func(step netsim.DownloadStep) {
+		m.DownloadJ += cfg.Power.RadioPowerW(step.SignalDBm) * step.Dt
+		segStall += drain(step.Dt)
 	}
 
 	abandoned := func() bool {
@@ -241,7 +272,6 @@ func Run(cfg Config) (*Metrics, error) {
 		if err != nil {
 			return nil, err
 		}
-		sizes := make([]float64, len(ladder))
 		for j := range ladder {
 			s, err := cfg.Manifest.SegmentSizeMB(i, j)
 			if err != nil {
@@ -269,18 +299,15 @@ func Run(cfg Config) (*Metrics, error) {
 			return nil, fmt.Errorf("%w: %d of %d at segment %d", ErrBadRung, rung, len(ladder), i)
 		}
 
-		var stallSec float64
+		segStall = 0
 		if rrc != nil {
 			// Promotion latency delays the transfer; playback continues.
 			if latency := rrc.StartTransfer(); latency > 0 {
-				stallSec += drain(latency)
+				segStall += drain(latency)
 				cfg.Link.Advance(latency)
 			}
 		}
-		res, err := netsim.DownloadRamped(cfg.Link, sizes[rung], cfg.TCPRampSec, func(step netsim.DownloadStep) {
-			m.DownloadJ += cfg.Power.RadioPowerW(step.SignalDBm) * step.Dt
-			stallSec += drain(step.Dt)
-		})
+		res, err := netsim.DownloadRamped(cfg.Link, sizes[rung], cfg.TCPRampSec, onStep)
 		if err != nil {
 			return nil, fmt.Errorf("sim: segment %d download: %w", i, err)
 		}
@@ -300,21 +327,28 @@ func Run(cfg Config) (*Metrics, error) {
 			BitrateMbps:     ladder[rung].BitrateMbps,
 			PrevBitrateMbps: prevBitrate,
 			Vibration:       vib,
-			RebufferSec:     stallSec,
+			RebufferSec:     segStall,
 		})
-		m.Segments = append(m.Segments, SegmentLog{
-			Index:          i,
-			Rung:           rung,
-			BitrateMbps:    ladder[rung].BitrateMbps,
-			SizeMB:         sizes[rung],
-			StartSec:       now - startTime,
-			DownloadSec:    res.DurationSec,
-			ThroughputMbps: thMbps,
-			MeanSignalDBm:  res.MeanSignalDBm,
-			Vibration:      vib,
-			StallSec:       stallSec,
-			QoE:            segQoE,
-		})
+		if !cfg.MetricsOnly {
+			m.Segments = append(m.Segments, SegmentLog{
+				Index:          i,
+				Rung:           rung,
+				BitrateMbps:    ladder[rung].BitrateMbps,
+				SizeMB:         sizes[rung],
+				StartSec:       now - startTime,
+				DownloadSec:    res.DurationSec,
+				ThroughputMbps: thMbps,
+				MeanSignalDBm:  res.MeanSignalDBm,
+				Vibration:      vib,
+				StallSec:       segStall,
+				QoE:            segQoE,
+			})
+		}
+		segSizes = append(segSizes, sizes[rung])
+		scores = append(scores, qoe.SegmentScore{StartSec: now - startTime, QoE: segQoE})
+		qoeSum += segQoE
+		brWeighted += ladder[rung].BitrateMbps * dur
+		durSum += dur
 		m.DownloadedMB += sizes[rung]
 		if prevRung >= 0 && rung != prevRung {
 			m.Switches++
@@ -326,11 +360,12 @@ func Run(cfg Config) (*Metrics, error) {
 		// The viewer quit: whatever sits in the buffer was downloaded
 		// for nothing. Attribute the trailing bufferSec seconds of
 		// downloaded content (FIFO buffer => the most recent segments)
-		// as wasted payload.
+		// as wasted payload. Segments are fetched in order, so segment
+		// k's payload is segSizes[k].
 		m.Abandoned = true
 		remaining := pl.BufferSec()
-		for i := len(m.Segments) - 1; i >= 0 && remaining > 1e-9; i-- {
-			dur, err := cfg.Manifest.SegmentDuration(m.Segments[i].Index)
+		for i := len(segSizes) - 1; i >= 0 && remaining > 1e-9; i-- {
+			dur, err := cfg.Manifest.SegmentDuration(i)
 			if err != nil {
 				return nil, err
 			}
@@ -341,18 +376,18 @@ func Run(cfg Config) (*Metrics, error) {
 			if take > remaining {
 				take = remaining
 			}
-			m.WastedMB += m.Segments[i].SizeMB * take / dur
+			m.WastedMB += segSizes[i] * take / dur
 			remaining -= take
 		}
 	} else {
 		// Play out the remaining buffer.
-		for _, st := range pl.FinishRemaining() {
+		pl.FinishRemainingInto(func(st player.Played) {
 			m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
 			cfg.Link.Advance(st.DurationSec)
 			if rrc != nil {
 				rrc.AdvanceIdle(st.DurationSec)
 			}
-		}
+		})
 	}
 	if rrc != nil {
 		m.RadioCtlJ = rrc.TotalJ()
@@ -363,24 +398,8 @@ func Run(cfg Config) (*Metrics, error) {
 	m.RebufferSec = pl.StallSec()
 	m.DurationSec = cfg.Link.Now() - startTime
 
-	var qoeSum, brWeighted, durSum float64
-	for _, s := range m.Segments {
-		qoeSum += s.QoE
-	}
-	for i, s := range m.Segments {
-		dur, err := cfg.Manifest.SegmentDuration(i)
-		if err != nil {
-			return nil, err
-		}
-		brWeighted += s.BitrateMbps * dur
-		durSum += dur
-	}
-	if len(m.Segments) > 0 {
-		m.MeanQoE = qoeSum / float64(len(m.Segments))
-		scores := make([]qoe.SegmentScore, len(m.Segments))
-		for i, s := range m.Segments {
-			scores[i] = qoe.SegmentScore{StartSec: s.StartSec, QoE: s.QoE}
-		}
+	if len(scores) > 0 {
+		m.MeanQoE = qoeSum / float64(len(scores))
 		sessionQoE, err := qoe.DefaultSession().Score(scores, m.StartupSec)
 		if err != nil {
 			return nil, err

@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // SlidingWindow is a fixed-capacity FIFO of float64 samples with O(1)
 // append and O(n) aggregate queries. It backs the bandwidth and
 // vibration estimators, which repeatedly compute statistics over the
@@ -54,16 +56,51 @@ func (w *SlidingWindow) Reset() {
 	w.count = 0
 }
 
+// The aggregate queries walk the ring in insertion order directly
+// instead of materialising Values(): the bandwidth estimators call
+// them once per simulated segment, and the per-call copy was one of
+// the session hot path's few remaining allocations.
+
 // Mean returns the arithmetic mean of the held samples (0 if empty).
-func (w *SlidingWindow) Mean() float64 { return Mean(w.Values()) }
+func (w *SlidingWindow) Mean() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < w.count; i++ {
+		sum += w.buf[(w.head+i)%len(w.buf)]
+	}
+	return sum / float64(w.count)
+}
 
 // HarmonicMean returns the harmonic mean of the held samples.
 func (w *SlidingWindow) HarmonicMean() (float64, error) {
-	return HarmonicMean(w.Values())
+	if w.count == 0 {
+		return 0, ErrEmpty
+	}
+	var sumInv float64
+	for i := 0; i < w.count; i++ {
+		x := w.buf[(w.head+i)%len(w.buf)]
+		if x <= 0 {
+			return 0, ErrNonPositive
+		}
+		sumInv += 1 / x
+	}
+	return float64(w.count) / sumInv, nil
 }
 
 // RMS returns the root mean square of the held samples.
-func (w *SlidingWindow) RMS() float64 { return RMS(w.Values()) }
+func (w *SlidingWindow) RMS() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < w.count; i++ {
+		x := w.buf[(w.head+i)%len(w.buf)]
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(w.count))
+}
 
 // EWMA is an exponentially weighted moving average with smoothing
 // factor alpha in (0, 1]: larger alpha weighs recent samples more.

@@ -9,6 +9,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ecavs/internal/netsim"
 	"ecavs/internal/vibration"
@@ -137,19 +138,19 @@ func (t *Trace) Link() (*netsim.TraceLink, error) {
 // VibrationAt returns the Eq. 5 vibration level over the window
 // [tSec-windowSec, tSec] of the accelerometer stream — what the online
 // algorithm's estimator would report at time tSec.
+//
+// Accel is validated time-ordered, so the window is a contiguous run
+// of samples: its bounds are binary-searched and the sub-slice handed
+// to vibration.Level directly, keeping the per-segment call O(log n +
+// window) and allocation-free (the simulator calls this once per
+// segment, and a linear rescan from the stream start dominated whole
+// session replays).
 func (t *Trace) VibrationAt(tSec, windowSec float64) float64 {
 	if windowSec <= 0 {
 		windowSec = vibration.DefaultWindowSec
 	}
 	lo := tSec - windowSec
-	var window []vibration.Sample
-	for _, s := range t.Accel {
-		if s.TimeSec > tSec {
-			break
-		}
-		if s.TimeSec >= lo {
-			window = append(window, s)
-		}
-	}
-	return vibration.Level(window)
+	i := sort.Search(len(t.Accel), func(k int) bool { return t.Accel[k].TimeSec >= lo })
+	j := sort.Search(len(t.Accel), func(k int) bool { return t.Accel[k].TimeSec > tSec })
+	return vibration.Level(t.Accel[i:j])
 }

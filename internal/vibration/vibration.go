@@ -37,19 +37,20 @@ func Level(samples []Sample) float64 {
 	if len(samples) < 2 {
 		return 0
 	}
+	// Two passes recomputing the magnitudes instead of buffering them:
+	// Level sits on the simulator's per-segment path, where a scratch
+	// slice per call dominated the session's allocation profile.
 	var mean float64
-	mags := make([]float64, len(samples))
-	for i, s := range samples {
-		mags[i] = s.Magnitude()
-		mean += mags[i]
+	for _, s := range samples {
+		mean += s.Magnitude()
 	}
-	mean /= float64(len(mags))
+	mean /= float64(len(samples))
 	var ss float64
-	for _, m := range mags {
-		d := m - mean
+	for _, s := range samples {
+		d := s.Magnitude() - mean
 		ss += d * d
 	}
-	return math.Sqrt(ss / float64(len(mags)))
+	return math.Sqrt(ss / float64(len(samples)))
 }
 
 // Estimator is the online vibration-level estimator of Section IV-B:
