@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race bench bench-diff experiments examples cover
+.PHONY: all check build vet test test-short race chaos bench bench-diff experiments examples cover
 
 all: build vet test
 
@@ -21,6 +21,14 @@ test-short:
 
 race:
 	go build ./... && go test -race ./...
+
+# chaos drives every ABR algorithm through deterministic fault storms
+# (HTTP 5xx/reset/stall/truncate via internal/faults, link outages via
+# netsim.OutageLink) under the race detector. -count=1 defeats the test
+# cache so the storms actually run.
+chaos:
+	go test -race -count=1 ./internal/faults/
+	go test -race -count=1 -run 'Chaos|Outage|Truncated|Cancellation' ./internal/httpdash/ ./internal/netsim/ ./internal/sim/ ./internal/campaign/
 
 # bench runs the full suite with -benchmem and records a dated JSON
 # snapshot (name, ns/op, allocs/op) for regression tracking.

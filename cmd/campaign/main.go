@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ecavs/internal/campaign"
+	"ecavs/internal/netsim"
 	"ecavs/internal/power"
 	"ecavs/internal/trace"
 )
@@ -38,6 +39,9 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
 	abandon := fs.Float64("abandon", 0.25, "per-session early-quit probability")
 	vibJitter := fs.Float64("vib-jitter", 0.3, "uniform relative jitter on sensed vibration, in [0,1)")
+	outageProb := fs.Float64("outage", 0, "per-session probability of a seeded link-outage process")
+	outageUp := fs.Float64("outage-up", 0, "mean seconds between outages (0 = default)")
+	outageDown := fs.Float64("outage-down", 0, "mean outage length in seconds (0 = default)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +51,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	outage := netsim.DefaultOutage()
+	if *outageUp > 0 {
+		outage.MeanUpSec = *outageUp
+	}
+	if *outageDown > 0 {
+		outage.MeanDownSec = *outageDown
+	}
 	cfg := campaign.Config{
 		Traces:          traces,
 		Sessions:        *sessions,
@@ -54,6 +65,8 @@ func run(args []string) error {
 		Shards:          *shards,
 		AbandonProb:     *abandon,
 		VibrationJitter: *vibJitter,
+		OutageProb:      *outageProb,
+		Outage:          outage,
 	}
 	start := time.Now()
 	res, err := campaign.Run(cfg)
@@ -68,8 +81,8 @@ func run(args []string) error {
 		return enc.Encode(res)
 	}
 
-	fmt.Printf("Campaign: %d sessions, seed %d, %d shards, abandon %.2f, vib jitter %.2f\n\n",
-		res.Sessions, res.Seed, res.Shards, *abandon, *vibJitter)
+	fmt.Printf("Campaign: %d sessions, seed %d, %d shards, abandon %.2f, vib jitter %.2f, outage %.2f\n\n",
+		res.Sessions, res.Seed, res.Shards, *abandon, *vibJitter, *outageProb)
 	fmt.Printf("%-9s %8s %6s | %36s | %20s | %16s | %14s\n",
 		"Algorithm", "Sessions", "Quit", "Energy J (mean±std p50/p95)", "QoE (mean±std)", "Rebuffer s", "Switches")
 	for _, a := range res.Algorithms {
@@ -79,6 +92,13 @@ func run(args []string) error {
 			a.QoE.Mean, a.QoE.Std, a.QoE.P95,
 			a.RebufferSec.Mean, a.RebufferSec.P95,
 			a.Switches.Mean, a.Switches.P95)
+	}
+	if *outageProb > 0 {
+		fmt.Println()
+		for _, a := range res.Algorithms {
+			fmt.Printf("%-9s outages: %d sessions hit, %d total, down %.2f s mean / %.2f s p95\n",
+				a.Name, a.OutageSessions, a.Outages, a.OutageSec.Mean, a.OutageSec.P95)
+		}
 	}
 	fmt.Printf("\n%d sessions in %.2fs (%.0f sessions/sec)\n",
 		res.Sessions, elapsed.Seconds(), float64(res.Sessions)/elapsed.Seconds())

@@ -14,6 +14,7 @@ import (
 	"ecavs/internal/abr"
 	"ecavs/internal/core"
 	"ecavs/internal/dash"
+	"ecavs/internal/netsim"
 	"ecavs/internal/player"
 	"ecavs/internal/pool"
 	"ecavs/internal/power"
@@ -82,6 +83,16 @@ type Config struct {
 	// uniform draw in [1-j, 1+j] — the viewer-context spread (pocket vs
 	// hand vs mount) that a single recorded trace cannot supply.
 	VibrationJitter float64
+	// OutageProb is the per-session probability of a seeded outage
+	// process being overlaid on the link (tunnels and dead zones the
+	// recorded trace did not capture). Zero disables outage draws
+	// entirely, leaving the per-session random streams — and therefore
+	// all previous campaign results — unchanged.
+	OutageProb float64
+	// Outage parameterises the outage process for affected sessions;
+	// its Seed field is ignored (each session draws its own from the
+	// campaign stream). The zero value means netsim.DefaultOutage().
+	Outage netsim.OutageConfig
 	// Power and QoE are the models (defaults power.EvalModel,
 	// qoe.Default).
 	Power power.Model
@@ -103,15 +114,21 @@ type Dist struct {
 	P95  float64 `json:"p95"`
 }
 
-// AlgoSummary is one policy's aggregate outcome.
+// AlgoSummary is one policy's aggregate outcome. OutageSessions counts
+// sessions that hit at least one injected outage, Outages the total
+// outage count, and OutageSec the per-session down time distribution
+// (over all sessions, outage-free ones contributing zero).
 type AlgoSummary struct {
-	Name        string `json:"name"`
-	Sessions    int64  `json:"sessions"`
-	Abandoned   int64  `json:"abandoned"`
-	EnergyJ     Dist   `json:"energy_j"`
-	QoE         Dist   `json:"qoe"`
-	RebufferSec Dist   `json:"rebuffer_sec"`
-	Switches    Dist   `json:"switches"`
+	Name           string `json:"name"`
+	Sessions       int64  `json:"sessions"`
+	Abandoned      int64  `json:"abandoned"`
+	OutageSessions int64  `json:"outage_sessions"`
+	Outages        int64  `json:"outages"`
+	EnergyJ        Dist   `json:"energy_j"`
+	QoE            Dist   `json:"qoe"`
+	RebufferSec    Dist   `json:"rebuffer_sec"`
+	Switches       Dist   `json:"switches"`
+	OutageSec      Dist   `json:"outage_sec"`
 }
 
 // Result is a campaign's full outcome. Memory is O(algorithms), not
@@ -142,18 +159,20 @@ func (m *metricAgg) add(x float64) {
 
 // algoAgg is one shard's aggregate for one policy.
 type algoAgg struct {
-	energy, qoe, rebuf, switches metricAgg
-	abandoned                    int64
+	energy, qoe, rebuf, switches, outageSec metricAgg
+	abandoned                               int64
+	outageSessions, outages                 int64
 }
 
 func newShardAgg(algos int) []algoAgg {
 	aggs := make([]algoAgg, algos)
 	for i := range aggs {
 		aggs[i] = algoAgg{
-			energy:   newMetricAgg(),
-			qoe:      newMetricAgg(),
-			rebuf:    newMetricAgg(),
-			switches: newMetricAgg(),
+			energy:    newMetricAgg(),
+			qoe:       newMetricAgg(),
+			rebuf:     newMetricAgg(),
+			switches:  newMetricAgg(),
+			outageSec: newMetricAgg(),
 		}
 	}
 	return aggs
@@ -164,8 +183,13 @@ func (a *algoAgg) observe(m *sim.Metrics) {
 	a.qoe.add(m.MeanQoE)
 	a.rebuf.add(m.RebufferSec)
 	a.switches.add(float64(m.Switches))
+	a.outageSec.add(m.OutageSec)
 	if m.Abandoned {
 		a.abandoned++
+	}
+	if m.OutageCount > 0 {
+		a.outageSessions++
+		a.outages += int64(m.OutageCount)
 	}
 }
 
@@ -184,11 +208,15 @@ func sessionState(seed int64, u int) uint64 {
 type uniformRNG struct{ state uint64 }
 
 func (r *uniformRNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+func (r *uniformRNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return float64((z^(z>>31))>>11) / (1 << 53)
+	return z ^ (z >> 31)
 }
 
 // Run executes the campaign and returns its aggregate result.
@@ -204,6 +232,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.VibrationJitter < 0 || cfg.VibrationJitter >= 1 {
 		return nil, errors.New("campaign: VibrationJitter outside [0, 1)")
+	}
+	if cfg.OutageProb < 0 || cfg.OutageProb > 1 {
+		return nil, errors.New("campaign: OutageProb outside [0, 1]")
+	}
+	outageCfg := cfg.Outage
+	if outageCfg == (netsim.OutageConfig{}) {
+		outageCfg = netsim.DefaultOutage()
+	}
+	if cfg.OutageProb > 0 {
+		if err := outageCfg.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
 	}
 	pm := cfg.Power
 	if pm == (power.Model{}) {
@@ -255,7 +295,10 @@ func Run(cfg Config) (*Result, error) {
 			rng := uniformRNG{state: sessionState(cfg.Seed, u)}
 			ai := u % len(algos)
 			// Fixed draw order keeps the stream layout documented:
-			// trace, abandon gate, abandon point, vibration scale.
+			// trace, abandon gate, abandon point, vibration scale, then —
+			// only when outages are enabled — outage gate and outage seed.
+			// Gating the extra draws on OutageProb keeps every pre-outage
+			// configuration's results bit-identical.
 			ti := int(rng.Float64() * float64(len(cfg.Traces)))
 			if ti >= len(cfg.Traces) {
 				ti = len(cfg.Traces) - 1
@@ -263,6 +306,12 @@ func Run(cfg Config) (*Result, error) {
 			abandonGate := rng.Float64()
 			abandonFrac := rng.Float64()
 			vibFrac := rng.Float64()
+			outageGate := 1.0
+			var outageSeed uint64
+			if cfg.OutageProb > 0 {
+				outageGate = rng.Float64()
+				outageSeed = rng.Uint64()
+			}
 
 			alg, err := algos[ai].New()
 			if err != nil {
@@ -283,6 +332,11 @@ func Run(cfg Config) (*Result, error) {
 			if j := cfg.VibrationJitter; j > 0 {
 				ses.VibrationScale = 1 + j*(2*vibFrac-1)
 			}
+			if outageGate < cfg.OutageProb {
+				oc := outageCfg
+				oc.Seed = int64(outageSeed)
+				ses.Outage = &oc
+			}
 			m, err := ses.Run()
 			if err != nil {
 				return fmt.Errorf("campaign: session %d %s on trace %d: %w", u, algos[ai].Name, cfg.Traces[ti].ID, err)
@@ -298,8 +352,8 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Sessions: cfg.Sessions, Seed: cfg.Seed, Shards: shards}
 	for ai, spec := range algos {
 		var (
-			energy, qoeAcc, rebuf, switches stats.Accumulator
-			abandoned                       int64
+			energy, qoeAcc, rebuf, switches, outageSec stats.Accumulator
+			abandoned, outageSessions, outages         int64
 		)
 		perShard := func(pick func(*algoAgg) *metricAgg) (p50, p95 float64) {
 			var s50, s95 float64
@@ -323,20 +377,26 @@ func Run(cfg Config) (*Result, error) {
 			qoeAcc.Merge(a.qoe.acc)
 			rebuf.Merge(a.rebuf.acc)
 			switches.Merge(a.switches.acc)
+			outageSec.Merge(a.outageSec.acc)
 			abandoned += a.abandoned
+			outageSessions += a.outageSessions
+			outages += a.outages
 		}
 		dist := func(acc *stats.Accumulator, pick func(*algoAgg) *metricAgg) Dist {
 			p50, p95 := perShard(pick)
 			return Dist{Mean: acc.Mean(), Std: acc.StdDev(), Min: acc.Min(), Max: acc.Max(), P50: p50, P95: p95}
 		}
 		res.Algorithms = append(res.Algorithms, AlgoSummary{
-			Name:        spec.Name,
-			Sessions:    energy.N(),
-			Abandoned:   abandoned,
-			EnergyJ:     dist(&energy, func(a *algoAgg) *metricAgg { return &a.energy }),
-			QoE:         dist(&qoeAcc, func(a *algoAgg) *metricAgg { return &a.qoe }),
-			RebufferSec: dist(&rebuf, func(a *algoAgg) *metricAgg { return &a.rebuf }),
-			Switches:    dist(&switches, func(a *algoAgg) *metricAgg { return &a.switches }),
+			Name:           spec.Name,
+			Sessions:       energy.N(),
+			Abandoned:      abandoned,
+			OutageSessions: outageSessions,
+			Outages:        outages,
+			EnergyJ:        dist(&energy, func(a *algoAgg) *metricAgg { return &a.energy }),
+			QoE:            dist(&qoeAcc, func(a *algoAgg) *metricAgg { return &a.qoe }),
+			RebufferSec:    dist(&rebuf, func(a *algoAgg) *metricAgg { return &a.rebuf }),
+			Switches:       dist(&switches, func(a *algoAgg) *metricAgg { return &a.switches }),
+			OutageSec:      dist(&outageSec, func(a *algoAgg) *metricAgg { return &a.outageSec }),
 		})
 	}
 	return res, nil

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ecavs/internal/netsim"
 	"ecavs/internal/power"
 	"ecavs/internal/trace"
 )
@@ -53,6 +54,63 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same (Seed, Shards) produced different results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// With failure injection enabled the campaign must stay a pure
+// function of (Config, Seed, Shards): same inputs, bit-identical
+// aggregates — including the outage counters.
+func TestRunDeterministicWithOutages(t *testing.T) {
+	traces := testTraces(t)
+	cfg := Config{
+		Traces:          traces,
+		Sessions:        24,
+		Seed:            9,
+		Shards:          4,
+		AbandonProb:     0.2,
+		VibrationJitter: 0.25,
+		OutageProb:      0.7,
+		Outage:          netsim.OutageConfig{MeanUpSec: 20, MeanDownSec: 5, DownRateFrac: 0.05, SignalDropDB: 12},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same (Seed, Shards) with outages produced different results:\n%+v\nvs\n%+v", a, b)
+	}
+	var hit, total int64
+	for _, s := range a.Algorithms {
+		hit += s.OutageSessions
+		total += s.Outages
+	}
+	if hit == 0 || total == 0 {
+		t.Errorf("outage prob 0.7 over 24 sessions injected nothing (%d sessions hit, %d outages)", hit, total)
+	}
+}
+
+// Enabling outages must not perturb sessions that the gate leaves
+// untouched: with OutageProb 0 the result is bit-identical to a config
+// that never mentions outages at all.
+func TestRunOutageProbZeroIsInert(t *testing.T) {
+	traces := testTraces(t)
+	base := Config{Traces: traces, Sessions: 16, Seed: 7, Shards: 2, AbandonProb: 0.3, VibrationJitter: 0.25}
+	withCfg := base
+	withCfg.Outage = netsim.OutageConfig{MeanUpSec: 10, MeanDownSec: 5}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(withCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("an unused outage config changed campaign results")
 	}
 }
 
@@ -146,6 +204,9 @@ func TestRunValidation(t *testing.T) {
 		{Sessions: 4},                                     // no traces
 		{Traces: traces, Sessions: 4, AbandonProb: 1.5},   // bad probability
 		{Traces: traces, Sessions: 4, VibrationJitter: 1}, // bad jitter
+		{Traces: traces, Sessions: 4, OutageProb: -0.1},   // bad outage probability
+		{Traces: traces, Sessions: 4, OutageProb: 0.5, // bad outage process
+			Outage: netsim.OutageConfig{MeanUpSec: -1, MeanDownSec: 2}},
 	}
 	for i, cfg := range cases {
 		if _, err := Run(cfg); err == nil {

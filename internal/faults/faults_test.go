@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Error5xxProb: -0.1},
+		{Error5xxProb: 0.6, ResetProb: 0.6}, // sum > 1
+		{Status: 200, Error5xxProb: 0.1},
+		{TruncateFrac: 1.0},
+		{StallFor: -time.Second},
+		{MaxFaultsPerKey: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPlan(cfg, 1); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := NewPlan(Config{Error5xxProb: 0.5, ResetProb: 0.5}, 1); err != nil {
+		t.Errorf("sum exactly 1 rejected: %v", err)
+	}
+}
+
+// The verdict for (key, attempt) must depend only on the seed, never
+// on interleaving with other keys.
+func TestPlanDeterministicPerKey(t *testing.T) {
+	mk := func() *Plan {
+		p, err := NewPlan(Config{Error5xxProb: 0.3, ResetProb: 0.2, TruncateProb: 0.2}, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := mk()
+	var seqA []Kind
+	for i := 0; i < 20; i++ {
+		seqA = append(seqA, a.Verdict("/seg/v0/1.m4s").Kind)
+	}
+	// Same key again, but interleaved with unrelated traffic.
+	b := mk()
+	for i := 0; i < 20; i++ {
+		b.Verdict("/seg/v9/7.m4s")
+		if got := b.Verdict("/seg/v0/1.m4s").Kind; got != seqA[i] {
+			t.Fatalf("attempt %d: interleaved verdict %v, want %v", i, got, seqA[i])
+		}
+		b.Verdict("/other")
+	}
+}
+
+func TestPlanSeedChangesStream(t *testing.T) {
+	cfg := Config{Error5xxProb: 0.5}
+	p1, _ := NewPlan(cfg, 1)
+	p2, _ := NewPlan(cfg, 99)
+	same := true
+	for i := 0; i < 64; i++ {
+		if p1.Verdict("/k").Kind != p2.Verdict("/k").Kind {
+			same = false
+		}
+	}
+	if same {
+		t.Error("64 verdicts identical across different seeds")
+	}
+}
+
+func TestPlanProbabilityExtremes(t *testing.T) {
+	always, _ := NewPlan(Config{Error5xxProb: 1}, 7)
+	for i := 0; i < 32; i++ {
+		if v := always.Verdict("/k"); v.Kind != Error5xx {
+			t.Fatalf("attempt %d: got %v, want error5xx", i, v.Kind)
+		}
+	}
+	never, _ := NewPlan(Config{}, 7)
+	for i := 0; i < 32; i++ {
+		if v := never.Verdict("/k"); v.Kind != None {
+			t.Fatalf("attempt %d: got %v, want none", i, v.Kind)
+		}
+	}
+}
+
+// MaxFaultsPerKey guarantees the storm relents: attempt N and later
+// are always clean.
+func TestPlanMaxFaultsPerKey(t *testing.T) {
+	p, _ := NewPlan(Config{Error5xxProb: 1, MaxFaultsPerKey: 3}, 5)
+	for i := 0; i < 3; i++ {
+		if v := p.Verdict("/k"); v.Kind != Error5xx {
+			t.Fatalf("attempt %d: got %v, want error5xx", i, v.Kind)
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if v := p.Verdict("/k"); v.Kind != None {
+			t.Fatalf("attempt %d: got %v, want none after MaxFaultsPerKey", i, v.Kind)
+		}
+	}
+	// A fresh key gets its own budget.
+	if v := p.Verdict("/other"); v.Kind != Error5xx {
+		t.Errorf("fresh key got %v, want error5xx", v.Kind)
+	}
+}
+
+func TestScriptConsumesInOrderThenCleans(t *testing.T) {
+	p := NewScript([]Verdict{
+		{Kind: Error5xx, Status: 502},
+		{Kind: Truncate, TruncateFrac: 0.25},
+	})
+	if v := p.Verdict("/a"); v.Kind != Error5xx || v.Status != 502 {
+		t.Errorf("first verdict = %+v", v)
+	}
+	if v := p.Verdict("/b"); v.Kind != Truncate || v.TruncateFrac != 0.25 {
+		t.Errorf("second verdict = %+v", v)
+	}
+	for i := 0; i < 4; i++ {
+		if v := p.Verdict("/a"); v.Kind != None {
+			t.Errorf("post-script verdict = %+v, want none", v)
+		}
+	}
+}
+
+func TestPlanStats(t *testing.T) {
+	p := NewScript([]Verdict{{Kind: Error5xx}, {Kind: Reset}, {Kind: Stall}, {Kind: Truncate}, {Kind: Latency}})
+	for i := 0; i < 7; i++ {
+		p.Verdict("/k")
+	}
+	s := p.Stats()
+	if s.Requests != 7 || s.Injected() != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Errors5xx != 1 || s.Resets != 1 || s.Stalls != 1 || s.Truncations != 1 || s.Latencies != 1 {
+		t.Errorf("per-kind counts = %+v", s)
+	}
+}
+
+// Concurrent verdict draws must be race-free (run under -race) and
+// account every request.
+func TestPlanConcurrentUse(t *testing.T) {
+	p, _ := NewPlan(Config{Error5xxProb: 0.5}, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Verdict("/shared")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := p.Stats(); s.Requests != 800 {
+		t.Errorf("requests = %d, want 800", s.Requests)
+	}
+}
+
+func newBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", itoa(len(body)))
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestRoundTripper5xxAndReset(t *testing.T) {
+	ts := newBackend(t, "payload")
+	client := &http.Client{Transport: &RoundTripper{
+		Plan: NewScript([]Verdict{{Kind: Error5xx, Status: 503}, {Kind: Reset}}),
+	}}
+	resp, err := client.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if _, err := client.Get(ts.URL + "/x"); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("reset verdict error = %v, want ErrInjectedReset", err)
+	}
+	// Script exhausted: clean pass-through.
+	resp, err = client.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "payload" {
+		t.Errorf("clean body = %q", b)
+	}
+}
+
+func TestRoundTripperTruncatePreservesContentLength(t *testing.T) {
+	ts := newBackend(t, "0123456789")
+	client := &http.Client{Transport: &RoundTripper{
+		Plan: NewScript([]Verdict{{Kind: Truncate, TruncateFrac: 0.5}}),
+	}}
+	resp, err := client.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 10 {
+		t.Errorf("ContentLength = %d, want 10 (advertised full size)", resp.ContentLength)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("truncated read should end in clean EOF, got %v", err)
+	}
+	if len(b) != 5 {
+		t.Errorf("delivered %d bytes, want 5", len(b))
+	}
+}
+
+func TestRoundTripperStallHonoursContext(t *testing.T) {
+	ts := newBackend(t, "payload")
+	client := &http.Client{Transport: &RoundTripper{
+		Plan: NewScript([]Verdict{{Kind: Stall, Stall: 10 * time.Second}}),
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/x", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stall ignored the request deadline")
+	}
+}
+
+func TestRoundTripperFilterSkipsWithoutConsuming(t *testing.T) {
+	ts := newBackend(t, "payload")
+	plan := NewScript([]Verdict{{Kind: Error5xx, Status: 500}})
+	client := &http.Client{Transport: &RoundTripper{
+		Plan:   plan,
+		Filter: func(r *http.Request) bool { return r.URL.Path != "/manifest.mpd" },
+	}}
+	resp, err := client.Get(ts.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("filtered request got %d", resp.StatusCode)
+	}
+	if plan.Stats().Requests != 0 {
+		t.Error("filtered request consumed a verdict")
+	}
+	resp, err = client.Get(ts.URL + "/seg/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("unfiltered request got %d, want injected 500", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjectedReset is the transport error surfaced by Reset verdicts on
+// the client side (http.Client wraps it in *url.Error; unwrap with
+// errors.Is).
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// RoundTripper injects a Plan's verdicts on the client side of the
+// HTTP exchange, so faults can be tested without touching the server.
+//
+// Error5xx verdicts synthesize the response locally (the request never
+// reaches the wire); Reset returns ErrInjectedReset; Stall and Latency
+// sleep before forwarding, honouring the request context; Truncate
+// forwards the request and clips the response body while preserving
+// the advertised Content-Length.
+type RoundTripper struct {
+	// Base performs real requests (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Plan supplies the verdicts. Required.
+	Plan *Plan
+	// Filter, when non-nil, limits injection to requests it accepts;
+	// everything else passes straight to Base without consuming a
+	// verdict.
+	Filter func(*http.Request) bool
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if rt.Plan == nil {
+		return nil, errors.New("faults: RoundTripper without a Plan")
+	}
+	if rt.Filter != nil && !rt.Filter(req) {
+		return base.RoundTrip(req)
+	}
+	v := rt.Plan.Verdict(req.URL.Path)
+	switch v.Kind {
+	case Error5xx:
+		body := fmt.Sprintf("injected %d", v.Status)
+		return &http.Response{
+			StatusCode:    v.Status,
+			Status:        fmt.Sprintf("%d %s", v.Status, http.StatusText(v.Status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Reset:
+		return nil, ErrInjectedReset
+	case Stall, Latency:
+		d := v.Latency
+		if v.Kind == Stall {
+			d = v.Stall
+		}
+		if err := sleepCtx(req, d); err != nil {
+			return nil, err
+		}
+		return base.RoundTrip(req)
+	case Truncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil || resp.ContentLength <= 0 {
+			return resp, err
+		}
+		keep := int64(float64(resp.ContentLength) * v.TruncateFrac)
+		if keep < 1 {
+			keep = 1
+		}
+		resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, keep), c: resp.Body}
+		return resp, nil
+	}
+	return base.RoundTrip(req)
+}
+
+// truncatedBody reads a clipped prefix of the real body while closing
+// the full underlying stream.
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) { return t.r.Read(p) }
+func (t *truncatedBody) Close() error               { return t.c.Close() }
+
+// sleepCtx sleeps for d or until the request context is done.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-req.Context().Done():
+		return req.Context().Err()
+	case <-timer.C:
+		return nil
+	}
+}

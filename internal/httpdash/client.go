@@ -12,6 +12,71 @@ import (
 	"ecavs/internal/player"
 )
 
+// Typed fetch failures.
+var (
+	// ErrTruncated marks a segment whose body ended short of the
+	// advertised Content-Length — a half-delivered download that must
+	// never be silently counted as a success.
+	ErrTruncated = errors.New("httpdash: truncated segment body")
+	// ErrSegmentAbandoned marks a segment given up after the retry
+	// budget (including rung downgrades) was exhausted; the session
+	// terminates with this error rather than hanging or mis-reporting.
+	ErrSegmentAbandoned = errors.New("httpdash: segment abandoned after retries")
+)
+
+// statusError is a non-2xx response; 5xx are retryable, 4xx are not
+// (the request itself is wrong, retrying cannot help).
+type statusError struct {
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string { return "status " + e.status }
+
+// RetryPolicy bounds how hard the client fights for each segment.
+type RetryPolicy struct {
+	// MaxAttempts is the per-segment fetch budget (>= 1; 1 means no
+	// retries).
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt deadline; it converts a stalled
+	// transfer into a retryable timeout. Zero disables it.
+	AttemptTimeout time.Duration
+	// BackoffBase is the first retry's backoff; each further retry
+	// doubles it up to BackoffMax. Jitter multiplies the wait by a
+	// deterministic draw in [0.5, 1), so synchronized clients desync
+	// without making runs irreproducible.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter stream (splitmix64).
+	JitterSeed int64
+	// DowngradeOnRetry steps the fetch one ladder rung down per retry,
+	// degrading toward the cheapest rendition before giving up.
+	DowngradeOnRetry bool
+}
+
+// DefaultRetryPolicy is the resilient configuration the chaos suite
+// runs under: four attempts, 10 s per attempt, 50 ms–2 s backoff, and
+// degrade-before-abandon.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      4,
+		AttemptTimeout:   10 * time.Second,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       2 * time.Second,
+		DowngradeOnRetry: true,
+	}
+}
+
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 1 {
+		return errors.New("httpdash: MaxAttempts must be at least 1")
+	}
+	if p.AttemptTimeout < 0 || p.BackoffBase < 0 || p.BackoffMax < 0 {
+		return errors.New("httpdash: negative retry durations")
+	}
+	return nil
+}
+
 // Client streams a DASH presentation over real HTTP, driving an
 // abr.Algorithm with measured per-segment throughputs. Playback is
 // virtual: wall-clock time is only spent downloading, and buffered
@@ -26,6 +91,8 @@ type Client struct {
 	httpClient *http.Client
 	algorithm  abr.Algorithm
 	threshold  float64
+	retry      RetryPolicy
+	jitter     uint64 // splitmix64 state for backoff jitter
 }
 
 // ClientOption customises the client.
@@ -49,6 +116,16 @@ func WithBufferThreshold(sec float64) ClientOption {
 	}
 }
 
+// WithRetryPolicy enables resilient fetching. Without this option the
+// client keeps the strict single-attempt behaviour (any fetch failure
+// ends the session), which is what the deterministic integration tests
+// rely on.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) {
+		c.retry = p
+	}
+}
+
 // NewClient returns a streaming client for the presentation at
 // baseURL (serving /manifest.mpd), adapting with the given algorithm.
 func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client, error) {
@@ -63,10 +140,15 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 		httpClient: &http.Client{Timeout: 30 * time.Second},
 		algorithm:  alg,
 		threshold:  player.DefaultBufferThresholdSec,
+		retry:      RetryPolicy{MaxAttempts: 1},
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if err := c.retry.validate(); err != nil {
+		return nil, err
+	}
+	c.jitter = uint64(c.retry.JitterSeed)
 	return c, nil
 }
 
@@ -74,13 +156,18 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 type Fetch struct {
 	// Segment is the segment number.
 	Segment int
-	// Rung is the chosen ladder rung.
+	// Rung is the ladder rung actually fetched (after any retry
+	// downgrades).
 	Rung int
-	// BitrateMbps is the rung's bitrate.
+	// ChosenRung is the rung the algorithm asked for.
+	ChosenRung int
+	// Attempts is the fetch count for this segment (1 = clean).
+	Attempts int
+	// BitrateMbps is the fetched rung's bitrate.
 	BitrateMbps float64
 	// Bytes is the payload size.
 	Bytes int64
-	// WallTime is the download duration.
+	// WallTime is the download duration of the successful attempt.
 	WallTime time.Duration
 	// ThroughputMbps is the measured download rate.
 	ThroughputMbps float64
@@ -88,7 +175,7 @@ type Fetch struct {
 
 // Stats summarises a streamed session.
 type Stats struct {
-	// Fetches logs every segment download.
+	// Fetches logs every successfully downloaded segment.
 	Fetches []Fetch
 	// TotalBytes is the summed payload.
 	TotalBytes int64
@@ -101,10 +188,28 @@ type Stats struct {
 	// StallSec is the virtual-playback stall time (download slower
 	// than drain while the buffer was empty).
 	StallSec float64
+
+	// Resilience counters (all zero in single-attempt mode).
+
+	// Retries counts re-attempted segment fetches across the session.
+	Retries int
+	// Downgrades counts rung step-downs applied while retrying.
+	Downgrades int
+	// Timeouts counts attempts that hit the per-attempt deadline.
+	Timeouts int
+	// Truncations counts attempts rejected for a short body.
+	Truncations int
+	// AbandonedSegments counts segments whose retry budget ran out
+	// (the session ends at the first one, so this is 0 or 1).
+	AbandonedSegments int
 }
 
 // Stream downloads the whole presentation. The context cancels the
 // session between segment fetches and aborts in-flight requests.
+//
+// On a mid-session failure (abandoned segment, cancellation after the
+// manifest was fetched) Stream returns the partial Stats alongside the
+// error, so callers can still read the resilience counters.
 func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 	info, err := c.fetchManifest(ctx)
 	if err != nil {
@@ -117,9 +222,17 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 	prevRung := -1
 	var weighted, brSum float64
 
+	// Per-rung segment sizes estimated from the ladder (an MPD carries
+	// nominal bitrates, not exact sizes) — enough for size-aware
+	// policies like the paper's online algorithm to run over real HTTP.
+	sizesMB := make([]float64, len(info.Ladder))
+	for j, r := range info.Ladder {
+		sizesMB[j] = r.BitrateMbps * info.SegmentSec / 8
+	}
+
 	for seg := 0; seg < info.SegmentCount; seg++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("httpdash: cancelled at segment %d: %w", seg, err)
+			return stats, fmt.Errorf("httpdash: cancelled at segment %d: %w", seg, err)
 		}
 		// Virtual pacing: once the buffer passes the threshold, play it
 		// down to just under the threshold instantly.
@@ -130,26 +243,24 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 		decision := abr.Context{
 			SegmentIndex:       seg,
 			Ladder:             info.Ladder,
+			SegmentSizesMB:     sizesMB,
 			SegmentDurationSec: info.SegmentSec,
 			PrevRung:           prevRung,
 			BufferSec:          bufferSec,
 			BufferThresholdSec: c.threshold,
 		}
-		rung, err := c.algorithm.ChooseRung(decision)
+		chosen, err := c.algorithm.ChooseRung(decision)
 		if err != nil {
-			return nil, fmt.Errorf("httpdash: segment %d decision: %w", seg, err)
+			return stats, fmt.Errorf("httpdash: segment %d decision: %w", seg, err)
 		}
-		if rung < 0 || rung >= len(info.Ladder) {
-			return nil, fmt.Errorf("httpdash: segment %d: rung %d out of range", seg, rung)
+		if chosen < 0 || chosen >= len(info.Ladder) {
+			return stats, fmt.Errorf("httpdash: segment %d: rung %d out of range", seg, chosen)
 		}
 
-		url := fmt.Sprintf("%s/seg/%s/%d.m4s", c.baseURL, info.RepIDs[rung], seg)
-		start := time.Now()
-		bytes, err := c.fetchSegment(ctx, url)
+		rung, bytes, wall, attempts, err := c.fetchWithRetry(ctx, stats, info, seg, chosen)
 		if err != nil {
-			return nil, fmt.Errorf("httpdash: segment %d: %w", seg, err)
+			return stats, fmt.Errorf("httpdash: segment %d: %w", seg, err)
 		}
-		wall := time.Since(start)
 		thMbps := float64(bytes) * 8 / 1e6 / wall.Seconds()
 		c.algorithm.ObserveDownload(thMbps)
 
@@ -168,6 +279,8 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 		stats.Fetches = append(stats.Fetches, Fetch{
 			Segment:        seg,
 			Rung:           rung,
+			ChosenRung:     chosen,
+			Attempts:       attempts,
 			BitrateMbps:    br,
 			Bytes:          bytes,
 			WallTime:       wall,
@@ -190,8 +303,128 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 	return stats, nil
 }
 
-// fetchManifest GETs and parses /manifest.mpd.
+// fetchWithRetry downloads segment seg, starting at the algorithm's
+// chosen rung and applying the retry policy: per-attempt deadline,
+// exponential backoff with deterministic jitter, and (optionally) one
+// rung downgrade per retry until the ladder floor. It returns the rung
+// actually fetched and the attempt count; when the budget runs out the
+// error wraps ErrSegmentAbandoned.
+func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifestInfo, seg, chosen int) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
+	rung = chosen
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		attempts = attempt + 1
+		if attempt > 0 {
+			stats.Retries++
+			if c.retry.DowngradeOnRetry && rung > 0 {
+				rung--
+				stats.Downgrades++
+			}
+			if err := c.backoff(ctx, attempt); err != nil {
+				return rung, 0, 0, attempts, err
+			}
+		}
+
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if c.retry.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		}
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", c.baseURL, info.RepIDs[rung], seg)
+		start := time.Now()
+		n, ferr := c.fetchSegment(attemptCtx, url)
+		elapsed := time.Since(start)
+		deadlineHit := attemptCtx.Err() != nil // read before cancel() taints it
+		cancel()
+		if ferr == nil {
+			return rung, n, elapsed, attempts, nil
+		}
+		// The caller's context ending is a session cancellation, never a
+		// retryable fault.
+		if ctx.Err() != nil {
+			return rung, 0, 0, attempts, fmt.Errorf("cancelled mid-download: %w", ctx.Err())
+		}
+		switch {
+		case deadlineHit:
+			stats.Timeouts++
+		case errors.Is(ferr, ErrTruncated):
+			stats.Truncations++
+		default:
+			var se *statusError
+			if errors.As(ferr, &se) && se.code < 500 {
+				return rung, 0, 0, attempts, ferr // 4xx: not retryable
+			}
+		}
+		lastErr = ferr
+	}
+	stats.AbandonedSegments++
+	return rung, 0, 0, attempts, fmt.Errorf("%w (rung %d after %d attempts): %w",
+		ErrSegmentAbandoned, rung, attempts, lastErr)
+}
+
+// backoff sleeps for the attempt's jittered exponential backoff, or
+// returns early if the session context ends.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.retry.BackoffBase
+	if d <= 0 {
+		return nil
+	}
+	for i := 1; i < attempt && d < c.retry.BackoffMax; i++ {
+		d *= 2
+	}
+	if c.retry.BackoffMax > 0 && d > c.retry.BackoffMax {
+		d = c.retry.BackoffMax
+	}
+	// Equal jitter from a private splitmix64 stream: deterministic for a
+	// fixed JitterSeed, in [d/2, d).
+	c.jitter += 0x9e3779b97f4a7c15
+	z := c.jitter
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	u := float64((z^(z>>31))>>11) / (1 << 53)
+	d = d/2 + time.Duration(u*float64(d/2))
+
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("cancelled during backoff: %w", ctx.Err())
+	case <-timer.C:
+		return nil
+	}
+}
+
+// fetchManifest GETs and parses /manifest.mpd, retrying under the same
+// budget as segment fetches (without downgrades — there is only one
+// manifest).
 func (c *Client) fetchManifest(ctx context.Context) (info manifestInfo, err error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return info, fmt.Errorf("httpdash: %w", err)
+			}
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if c.retry.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		}
+		info, lastErr = c.fetchManifestOnce(attemptCtx)
+		cancel()
+		if lastErr == nil {
+			return info, nil
+		}
+		if ctx.Err() != nil {
+			return info, lastErr
+		}
+		var se *statusError
+		if errors.As(lastErr, &se) && se.code < 500 {
+			return info, lastErr
+		}
+	}
+	return info, lastErr
+}
+
+func (c *Client) fetchManifestOnce(ctx context.Context) (info manifestInfo, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/manifest.mpd", nil)
 	if err != nil {
 		return info, fmt.Errorf("httpdash: build manifest request: %w", err)
@@ -202,12 +435,15 @@ func (c *Client) fetchManifest(ctx context.Context) (info manifestInfo, err erro
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return info, fmt.Errorf("httpdash: manifest status %s", resp.Status)
+		return info, fmt.Errorf("httpdash: manifest: %w", &statusError{code: resp.StatusCode, status: resp.Status})
 	}
 	return parseManifest(resp.Body)
 }
 
-// fetchSegment GETs one media segment, discarding the payload.
+// fetchSegment GETs one media segment, discarding the payload. A body
+// shorter than the advertised Content-Length — whether it ends in a
+// clean EOF or a torn connection — surfaces as ErrTruncated instead of
+// being silently accepted as a smaller segment.
 func (c *Client) fetchSegment(ctx context.Context, url string) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -219,11 +455,18 @@ func (c *Client) fetchSegment(ctx context.Context, url string) (int64, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("status %s", resp.Status)
+		return 0, &statusError{code: resp.StatusCode, status: resp.Status}
 	}
 	n, err := io.Copy(io.Discard, resp.Body)
+	want := resp.ContentLength
 	if err != nil {
+		if want >= 0 && n < want {
+			return 0, fmt.Errorf("%w: %d of %d bytes (%v)", ErrTruncated, n, want, err)
+		}
 		return 0, fmt.Errorf("read body: %w", err)
+	}
+	if want >= 0 && n != want {
+		return 0, fmt.Errorf("%w: %d of %d bytes", ErrTruncated, n, want)
 	}
 	return n, nil
 }

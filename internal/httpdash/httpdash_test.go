@@ -2,6 +2,7 @@ package httpdash
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,7 @@ import (
 
 	"ecavs/internal/abr"
 	"ecavs/internal/dash"
+	"ecavs/internal/faults"
 )
 
 func testManifest(t *testing.T, durationSec float64) *dash.Manifest {
@@ -256,5 +258,95 @@ func TestClientInterfaceParity(t *testing.T) {
 		if len(stats.Fetches) != 6 {
 			t.Errorf("%s fetched %d segments, want 6", alg.Name(), len(stats.Fetches))
 		}
+	}
+}
+
+// A truncated body must surface the typed ErrTruncated, never a silent
+// short byte count (the strict single-attempt client fails the session
+// on it).
+func TestClientRejectsTruncatedBody(t *testing.T) {
+	script := faults.NewScript([]faults.Verdict{{Kind: faults.Truncate, TruncateFrac: 0.4}})
+	_, ts := newTestServer(t, 20, WithFaults(script))
+	client, err := NewClient(ts.URL, &abr.Fixed{Rung: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Stream(context.Background())
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("error = %v, want ErrTruncated", err)
+	}
+}
+
+// Cancelling the context mid-download aborts the in-flight request and
+// returns the partial stats uncorrupted: no phantom fetch for the
+// aborted segment, and the totals still add up.
+func TestClientCancellationMidDownload(t *testing.T) {
+	// 0.2 MB/s against ~1.4 MB segments: the first download takes
+	// seconds, the cancel lands mid-transfer.
+	_, ts := newTestServer(t, 20, WithRateLimitMBps(0.2))
+	client, err := NewClient(ts.URL, &abr.Fixed{Rung: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	stats, err := client.Stream(ctx)
+	if err == nil {
+		t.Fatal("cancelled stream reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled in the chain", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not abort the in-flight request")
+	}
+	if stats == nil {
+		t.Fatal("no partial stats returned after manifest fetch succeeded")
+	}
+	var sum int64
+	for _, f := range stats.Fetches {
+		if f.Bytes <= 0 {
+			t.Errorf("segment %d recorded with %d bytes", f.Segment, f.Bytes)
+		}
+		sum += f.Bytes
+	}
+	if sum != stats.TotalBytes {
+		t.Errorf("TotalBytes = %d but fetches sum to %d", stats.TotalBytes, sum)
+	}
+	if len(stats.Fetches) >= 10 {
+		t.Errorf("%d fetches recorded despite the early cancel", len(stats.Fetches))
+	}
+}
+
+// SetRateLimitMBps must apply to a transfer already in flight: the
+// write loop re-reads the rate per chunk, so lifting a crawl-speed
+// limit mid-segment lets the download finish promptly.
+func TestServerRateChangeAppliesMidTransfer(t *testing.T) {
+	// Rung 5 segments are ~1.4 MB; at 0.05 MB/s one segment would take
+	// ~29 s. Lift the limit 300 ms in: with the per-chunk re-read the
+	// whole 10-segment session finishes in a couple of seconds.
+	srv, ts := newTestServer(t, 20, WithRateLimitMBps(0.05))
+	client, err := NewClient(ts.URL, &abr.Fixed{Rung: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		srv.SetRateLimitMBps(0)
+	}()
+	start := time.Now()
+	stats, err := client.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fetches) != 10 {
+		t.Fatalf("fetched %d segments, want 10", len(stats.Fetches))
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("session took %v; mid-transfer rate change was ignored", elapsed)
 	}
 }

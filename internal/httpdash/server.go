@@ -1,7 +1,8 @@
 // Package httpdash puts the DASH substrate on a real network: an
 // http.Handler that serves an MPD manifest and synthetic media
-// segments (with optional token-bucket rate shaping), and a streaming
-// client that fetches segments over HTTP, measures throughput, and
+// segments (with optional token-bucket rate shaping and fault
+// injection), and a streaming client that fetches segments over HTTP,
+// measures throughput, retries failures with bounded backoff, and
 // drives any abr.Algorithm — the same interface the simulator drives.
 // It is the integration layer that shows the library working over an
 // actual TCP/HTTP stack rather than the discrete-event simulator.
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"ecavs/internal/dash"
+	"ecavs/internal/faults"
 )
 
 // Server serves one video: GET /manifest.mpd and
@@ -26,7 +28,9 @@ import (
 type Server struct {
 	manifest *dash.Manifest
 	mpdXML   []byte
-	repIDs   []string // index-aligned with the ladder
+	repIDs   []string       // index-aligned with the ladder
+	rungByID map[string]int // repID -> ladder index
+	faults   *faults.Plan   // nil = healthy server
 
 	mu        sync.Mutex
 	rateMBps  float64 // 0 = unshaped
@@ -48,6 +52,17 @@ func WithRateLimitMBps(mbps float64) ServerOption {
 	}
 }
 
+// WithFaults makes the server consult a fault plan for every segment
+// request (the manifest stays reliable): Error5xx answers with the
+// injected status, Reset aborts the connection, Stall hangs
+// mid-transfer, Truncate closes the connection after a body prefix,
+// and Latency delays the response. Nil disables injection.
+func WithFaults(p *faults.Plan) ServerOption {
+	return func(s *Server) {
+		s.faults = p
+	}
+}
+
 // NewServer builds the handler for a manifest.
 func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 	if m == nil {
@@ -62,13 +77,16 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 		return nil, err
 	}
 	ids := make([]string, len(m.Ladder()))
+	byID := make(map[string]int, len(ids))
 	for i, rep := range mpd.Period.AdaptationSet.Representations {
 		ids[i] = rep.ID
+		byID[rep.ID] = i
 	}
 	s := &Server{
 		manifest: m,
 		mpdXML:   []byte(sb.String()),
 		repIDs:   ids,
+		rungByID: byID,
 	}
 	for _, o := range opts {
 		o(s)
@@ -77,7 +95,8 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 }
 
 // SetRateLimitMBps changes the shaping rate at runtime (0 disables) —
-// handy for emulating network dips mid-session.
+// handy for emulating network dips mid-session. Segment transfers
+// already in flight pick the new rate up at their next chunk.
 func (s *Server) SetRateLimitMBps(mbps float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -113,12 +132,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // rungForRepID resolves a representation ID to its ladder index.
 func (s *Server) rungForRepID(id string) (int, bool) {
-	for i, known := range s.repIDs {
-		if known == id {
-			return i, true
-		}
+	i, ok := s.rungByID[id]
+	return i, ok
+}
+
+// sleepOrGone waits d, returning early (false) if the client went away.
+func sleepOrGone(r *http.Request, d time.Duration) bool {
+	if d <= 0 {
+		return true
 	}
-	return 0, false
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-r.Context().Done():
+		return false
+	case <-timer.C:
+		return true
+	}
 }
 
 func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
@@ -147,13 +177,51 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 	if size < 1 {
 		size = 1
 	}
+
+	// Fault verdicts apply only to valid segment requests, so a broken
+	// URL is still a plain 4xx and retries burn plan attempts only for
+	// real segments.
+	var verdict faults.Verdict
+	if s.faults != nil {
+		verdict = s.faults.Verdict(r.URL.Path)
+	}
+	switch verdict.Kind {
+	case faults.Error5xx:
+		http.Error(w, "injected fault", verdict.Status)
+		return
+	case faults.Reset:
+		panic(http.ErrAbortHandler) // tear the connection down
+	case faults.Latency:
+		if !sleepOrGone(r, verdict.Latency) {
+			return
+		}
+	case faults.Truncate:
+		// Deliver a prefix while still advertising the full size; the
+		// aborted connection surfaces client-side as a short body.
+		cut := int(float64(size) * verdict.TruncateFrac)
+		if cut < 1 {
+			cut = 1
+		}
+		w.Header().Set("Content-Type", "video/iso.segment")
+		w.Header().Set("Content-Length", strconv.Itoa(size))
+		s.writeBody(w, r, cut, 0)
+		panic(http.ErrAbortHandler)
+	}
+
 	w.Header().Set("Content-Type", "video/iso.segment")
 	w.Header().Set("Content-Length", strconv.Itoa(size))
+	s.writeBody(w, r, size, verdict.Stall)
+}
 
-	s.mu.Lock()
-	rate := s.rateMBps
-	s.mu.Unlock()
-
+// writeBody streams size synthetic bytes, re-reading the shaping rate
+// under the mutex every chunk so SetRateLimitMBps applies to transfers
+// already in flight. A positive stall hangs the response before the
+// first body byte — the client sits blocked on the transfer until its
+// per-attempt deadline fires (or the stall ends).
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, size int, stall time.Duration) {
+	if stall > 0 && !sleepOrGone(r, stall) {
+		return
+	}
 	const chunk = 64 << 10
 	buf := make([]byte, chunk)
 	for i := range buf {
@@ -171,6 +239,7 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		remaining -= n
 		s.mu.Lock()
 		s.bytesSent += int64(n)
+		rate := s.rateMBps
 		s.mu.Unlock()
 		if rate > 0 {
 			time.Sleep(time.Duration(float64(n) / (rate * 1e6) * float64(time.Second)))

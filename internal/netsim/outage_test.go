@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// steadyLink is a constant link for overlay tests.
+type steadyLink struct {
+	now    float64
+	signal float64
+	rate   float64
+}
+
+func (l *steadyLink) Now() float64            { return l.now }
+func (l *steadyLink) SignalDBm() float64      { return l.signal }
+func (l *steadyLink) ThroughputMBps() float64 { return l.rate }
+func (l *steadyLink) Advance(dt float64) {
+	if dt > 0 {
+		l.now += dt
+	}
+}
+
+func TestOutageConfigValidation(t *testing.T) {
+	cases := []OutageConfig{
+		{MeanUpSec: 0, MeanDownSec: 5},
+		{MeanUpSec: 10, MeanDownSec: 0},
+		{MeanUpSec: 10, MeanDownSec: 5, DownRateFrac: 1},
+		{MeanUpSec: 10, MeanDownSec: 5, SignalDropDB: -1},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if err := DefaultOutage().Validate(); err != nil {
+		t.Errorf("DefaultOutage invalid: %v", err)
+	}
+	if _, err := WithOutages(nil, DefaultOutage()); err == nil {
+		t.Error("nil link accepted")
+	}
+}
+
+func TestOutageDegradesRateAndSignal(t *testing.T) {
+	cfg := OutageConfig{MeanUpSec: 5, MeanDownSec: 5, DownRateFrac: 0.1, SignalDropDB: 20, Seed: 3}
+	o, err := WithOutages(&steadyLink{signal: -90, rate: 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDown := false
+	for i := 0; i < 400; i++ {
+		o.Advance(0.1)
+		if o.Down() {
+			sawDown = true
+			if th := o.ThroughputMBps(); math.Abs(th-0.4) > 1e-12 {
+				t.Fatalf("down throughput = %v, want 0.4", th)
+			}
+			if s := o.SignalDBm(); s != -110 {
+				t.Fatalf("down signal = %v, want -110", s)
+			}
+		} else {
+			if th := o.ThroughputMBps(); th != 4 {
+				t.Fatalf("up throughput = %v, want 4", th)
+			}
+			if s := o.SignalDBm(); s != -90 {
+				t.Fatalf("up signal = %v, want -90", s)
+			}
+		}
+	}
+	if !sawDown {
+		t.Error("no outage in 40 s with 5 s mean sojourns")
+	}
+	count, downSec := o.Outages()
+	if count == 0 || downSec <= 0 {
+		t.Errorf("counters = (%d, %v), want positive", count, downSec)
+	}
+	if downSec >= o.Now() {
+		t.Errorf("downSec %v exceeds elapsed %v", downSec, o.Now())
+	}
+}
+
+// Same seed, same advance pattern => identical outage schedule; a
+// different seed diverges.
+func TestOutageDeterminism(t *testing.T) {
+	mk := func(seed int64) []bool {
+		cfg := OutageConfig{MeanUpSec: 4, MeanDownSec: 4, Seed: seed}
+		o, err := WithOutages(&steadyLink{rate: 1}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := make([]bool, 0, 300)
+		for i := 0; i < 300; i++ {
+			o.Advance(0.1)
+			states = append(states, o.Down())
+		}
+		return states
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: same seed diverged", i)
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// The overlay advances the underlying link clock exactly once per dt.
+func TestOutageAdvancesUnderlyingOnce(t *testing.T) {
+	under := &steadyLink{rate: 2}
+	o, err := WithOutages(under, OutageConfig{MeanUpSec: 1, MeanDownSec: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		o.Advance(0.3)
+	}
+	if math.Abs(under.now-15) > 1e-9 {
+		t.Errorf("underlying clock = %v, want 15", under.now)
+	}
+	if o.Now() != under.now {
+		t.Errorf("Now() = %v, want underlying %v", o.Now(), under.now)
+	}
+}
+
+// A download across a zero-residual outage still conserves payload.
+func TestOutageDownloadConservation(t *testing.T) {
+	o, err := WithOutages(&steadyLink{signal: -95, rate: 2},
+		OutageConfig{MeanUpSec: 2, MeanDownSec: 1, DownRateFrac: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved float64
+	res, err := Download(o, 10, func(s DownloadStep) { moved += s.TransferredMB })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(moved-10) > 1e-6 {
+		t.Errorf("moved %v MB, want 10", moved)
+	}
+	if res.DurationSec <= 5 {
+		t.Errorf("duration %v s too short for 10 MB at 2 MB/s with outages", res.DurationSec)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ecavs/internal/abr"
 	"ecavs/internal/dash"
+	"ecavs/internal/netsim"
 	"ecavs/internal/player"
 	"ecavs/internal/power"
 	"ecavs/internal/qoe"
@@ -40,6 +41,9 @@ type TraceSession struct {
 	RRC *power.RRCConfig
 	// AbandonAtSec ends playback early (see Config.AbandonAtSec).
 	AbandonAtSec float64
+	// Outage overlays a seeded outage process on the trace's link (see
+	// Config.Outage).
+	Outage *netsim.OutageConfig
 	// VibrationScale multiplies the sensed vibration level (Monte-Carlo
 	// viewer-context draws). Zero means 1 (unscaled); ForceVibration
 	// takes precedence.
@@ -88,6 +92,7 @@ func (s TraceSession) Run() (*Metrics, error) {
 		ResumeThresholdSec: s.ResumeThresholdSec,
 		RRC:                s.RRC,
 		AbandonAtSec:       s.AbandonAtSec,
+		Outage:             s.Outage,
 		MetricsOnly:        s.MetricsOnly,
 	})
 }

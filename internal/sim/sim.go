@@ -56,6 +56,11 @@ type Config struct {
 	// each segment download: the rate climbs linearly to the link rate
 	// over this many seconds, penalising very short segments.
 	TCPRampSec float64
+	// Outage, when non-nil, overlays a seeded up/down outage process on
+	// the link (netsim.WithOutages): tunnels and dead zones on top of
+	// whatever channel or trace the session replays. Outage counts and
+	// down time are reported in Metrics.OutageCount / OutageSec.
+	Outage *netsim.OutageConfig
 	// MetricsOnly skips the per-segment SegmentLog accumulation:
 	// Metrics.Segments stays nil while every scalar field is computed
 	// exactly as in the full-log mode. Campaign runs simulating many
@@ -121,6 +126,10 @@ type Metrics struct {
 	Switches int
 	// DurationSec is the session wall-clock length.
 	DurationSec float64
+	// OutageCount and OutageSec report the injected outage process
+	// (zero unless Config.Outage is set).
+	OutageCount int
+	OutageSec   float64
 }
 
 // TotalJ returns the session's total energy.
@@ -189,6 +198,16 @@ func Run(cfg Config) (*Metrics, error) {
 	if vibAt == nil {
 		vibAt = func(float64) float64 { return 0 }
 	}
+	link := cfg.Link
+	var outage *netsim.OutageLink
+	if cfg.Outage != nil {
+		var err error
+		outage, err = netsim.WithOutages(link, *cfg.Outage)
+		if err != nil {
+			return nil, fmt.Errorf("sim: outage: %w", err)
+		}
+		link = outage
+	}
 
 	pl, err := player.New(threshold)
 	if err != nil {
@@ -200,7 +219,7 @@ func Run(cfg Config) (*Metrics, error) {
 	if !cfg.MetricsOnly {
 		m.Segments = make([]SegmentLog, 0, n)
 	}
-	startTime := cfg.Link.Now()
+	startTime := link.Now()
 	prevRung := -1
 
 	// Per-session scratch, sized once so the per-segment loop stays
@@ -258,7 +277,7 @@ func Run(cfg Config) (*Metrics, error) {
 				break
 			}
 			drain(idleStepSec)
-			cfg.Link.Advance(idleStepSec)
+			link.Advance(idleStepSec)
 			if rrc != nil {
 				rrc.AdvanceIdle(idleStepSec)
 			}
@@ -267,7 +286,7 @@ func Run(cfg Config) (*Metrics, error) {
 			break
 		}
 
-		now := cfg.Link.Now()
+		now := link.Now()
 		dur, err := cfg.Manifest.SegmentDuration(i)
 		if err != nil {
 			return nil, err
@@ -288,7 +307,7 @@ func Run(cfg Config) (*Metrics, error) {
 			PrevRung:           prevRung,
 			BufferSec:          pl.BufferSec(),
 			BufferThresholdSec: threshold,
-			SignalDBm:          cfg.Link.SignalDBm(),
+			SignalDBm:          link.SignalDBm(),
 			VibrationLevel:     vib,
 		}
 		rung, err := cfg.Algorithm.ChooseRung(ctx)
@@ -304,10 +323,10 @@ func Run(cfg Config) (*Metrics, error) {
 			// Promotion latency delays the transfer; playback continues.
 			if latency := rrc.StartTransfer(); latency > 0 {
 				segStall += drain(latency)
-				cfg.Link.Advance(latency)
+				link.Advance(latency)
 			}
 		}
-		res, err := netsim.DownloadRamped(cfg.Link, sizes[rung], cfg.TCPRampSec, onStep)
+		res, err := netsim.DownloadRamped(link, sizes[rung], cfg.TCPRampSec, onStep)
 		if err != nil {
 			return nil, fmt.Errorf("sim: segment %d download: %w", i, err)
 		}
@@ -383,7 +402,7 @@ func Run(cfg Config) (*Metrics, error) {
 		// Play out the remaining buffer.
 		pl.FinishRemainingInto(func(st player.Played) {
 			m.PlaybackJ += cfg.Power.PlaybackPowerW(st.BitrateMbps) * st.DurationSec
-			cfg.Link.Advance(st.DurationSec)
+			link.Advance(st.DurationSec)
 			if rrc != nil {
 				rrc.AdvanceIdle(st.DurationSec)
 			}
@@ -392,11 +411,14 @@ func Run(cfg Config) (*Metrics, error) {
 	if rrc != nil {
 		m.RadioCtlJ = rrc.TotalJ()
 	}
+	if outage != nil {
+		m.OutageCount, m.OutageSec = outage.Outages()
+	}
 
 	m.StartupSec = pl.StartupSec()
 	m.StartupJ = cfg.Power.RebufferPowerW * m.StartupSec
 	m.RebufferSec = pl.StallSec()
-	m.DurationSec = cfg.Link.Now() - startTime
+	m.DurationSec = link.Now() - startTime
 
 	if len(scores) > 0 {
 		m.MeanQoE = qoeSum / float64(len(scores))
