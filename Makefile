@@ -1,11 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos bench bench-diff experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs bench bench-diff experiments examples cover
 
 all: build vet test
 
-# check is the CI gate: build, vet, tests, and the race detector.
-check: build vet test race
+# check is the CI gate: build, vet, tests, the race detector, and the
+# observability suite.
+check: build vet test race obs
 
 build:
 	go build ./...
@@ -29,6 +30,17 @@ race:
 chaos:
 	go test -race -count=1 ./internal/faults/
 	go test -race -count=1 -run 'Chaos|Outage|Truncated|Cancellation' ./internal/httpdash/ ./internal/netsim/ ./internal/sim/ ./internal/campaign/
+
+# obs exercises the telemetry layer end to end under the race detector:
+# registry/exposition correctness and concurrency in internal/telemetry,
+# then the wiring — per-rung server snapshots and client counters
+# (httpdash), decision-trace recording (sim), live campaign metrics and
+# the zero-overhead/determinism pins (campaign, root). -count=1 defeats
+# the test cache so the concurrent hammers actually run.
+obs:
+	go test -race -count=1 ./internal/telemetry/
+	go test -race -count=1 -run 'Telemetry|Snapshot|Recorder|DecisionTrace|Live|NDJSON' ./internal/httpdash/ ./internal/sim/ ./internal/campaign/
+	go test -count=1 -run 'TestSessionAllocsTelemetryDisabled' .
 
 # bench runs the full suite with -benchmem and records a dated JSON
 # snapshot (name, ns/op, allocs/op) for regression tracking.

@@ -7,6 +7,7 @@
 package ecavs_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -207,6 +208,68 @@ func BenchmarkSessionAllocs(b *testing.B) {
 			b.Fatal("degenerate session")
 		}
 	}
+}
+
+// sessionAllocBudget is the tracked allocation budget for one
+// metrics-only session (see BenchmarkSessionAllocs). The telemetry
+// layer must not move it: with no recorder attached, the hot path pays
+// exactly one nil comparison per segment.
+const sessionAllocBudget = 18
+
+// TestSessionAllocsTelemetryDisabled pins the zero-overhead contract
+// from the observability layer: a metrics-only session with a nil
+// decision recorder stays inside the allocation budget, and attaching
+// a recorder leaves the session's aggregate metrics bit-identical.
+func TestSessionAllocsTelemetryDisabled(t *testing.T) {
+	tr := benchTrace2(t)
+	man, err := sim.ManifestForTrace(tr, dash.EvalLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, qm := power.EvalModel(), qoe.Default()
+	session := func(rec *sim.DecisionRecorder) *sim.Metrics {
+		m, err := sim.TraceSession{
+			Trace:       tr,
+			Manifest:    man,
+			Algorithm:   abr.NewFESTIVE(),
+			Power:       pm,
+			QoE:         qm,
+			MetricsOnly: true,
+			Recorder:    rec,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	allocs := testing.AllocsPerRun(10, func() { session(nil) })
+	if allocs > sessionAllocBudget {
+		t.Errorf("disabled-telemetry session allocates %.1f/run, budget %d", allocs, sessionAllocBudget)
+	}
+
+	rec, err := ecavs.NewDecisionRecorder(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, traced := session(nil), session(rec)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("decision recorder perturbed metrics:\nplain  = %+v\ntraced = %+v", plain, traced)
+	}
+	if rec.Seen() == 0 {
+		t.Error("recorder saw no decisions — trace path not exercised")
+	}
+}
+
+// benchTrace2 is benchTrace for tests (testing.TB would also do, but
+// the benchmark helpers predate the telemetry pin and take *testing.B).
+func benchTrace2(t *testing.T) *trace.Trace {
+	t.Helper()
+	traces, err := ecavs.GenerateTableVTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces[0]
 }
 
 // BenchmarkCampaign10k runs a full 10000-session Monte-Carlo campaign

@@ -6,10 +6,19 @@
 //	campaign                          # 1000 sessions, defaults
 //	campaign -sessions 100000 -seed 7 -abandon 0.25 -vib-jitter 0.3
 //	campaign -json                    # machine-readable result on stdout
+//	campaign -sessions 5000000 -metrics-addr :9090 -progress
+//
+// -metrics-addr serves live telemetry while the campaign runs:
+// /metrics (Prometheus text: sessions completed, sessions/sec, ETA,
+// per-algorithm QoE and energy running means), /metrics.json, and the
+// /debug/pprof profiling endpoints. -progress prints a one-line
+// status to stderr every second.
 //
 // Results are deterministic for a fixed (-seed, -shards) pair; -shards
 // defaults to GOMAXPROCS, so pin it when comparing runs across
-// machines.
+// machines. Telemetry never perturbs results; the only
+// non-deterministic outputs are the wall_sec / sessions_per_sec
+// timing fields in -json.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"ecavs/internal/campaign"
 	"ecavs/internal/netsim"
 	"ecavs/internal/power"
+	"ecavs/internal/telemetry"
 	"ecavs/internal/trace"
 )
 
@@ -43,6 +53,8 @@ func run(args []string) error {
 	outageUp := fs.Float64("outage-up", 0, "mean seconds between outages (0 = default)")
 	outageDown := fs.Float64("outage-down", 0, "mean outage length in seconds (0 = default)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics, /metrics.json, and /debug/pprof on this address while running")
+	progress := fs.Bool("progress", false, "print live progress to stderr every second")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,12 +80,41 @@ func run(args []string) error {
 		OutageProb:      *outageProb,
 		Outage:          outage,
 	}
+	// Live telemetry: one publisher feeds both the HTTP endpoint and
+	// the progress printer; neither perturbs the campaign's results.
+	var live *campaign.Live
+	if *metricsAddr != "" || *progress {
+		var reg *telemetry.Registry
+		if *metricsAddr != "" {
+			reg = telemetry.NewRegistry()
+		}
+		live = campaign.NewLive(reg)
+		cfg.Live = live
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := telemetry.Serve(*metricsAddr, live.Registry())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: /metrics, /metrics.json, /debug/pprof on http://%s\n", addr)
+	}
+	if *progress {
+		stop := make(chan struct{})
+		defer close(stop)
+		go printProgress(live, int64(*sessions), stop)
+	}
+
 	start := time.Now()
 	res, err := campaign.Run(cfg)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	res.WallSec = elapsed.Seconds()
+	if s := elapsed.Seconds(); s > 0 {
+		res.SessionsPerSec = float64(res.Sessions) / s
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -101,6 +142,24 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("\n%d sessions in %.2fs (%.0f sessions/sec)\n",
-		res.Sessions, elapsed.Seconds(), float64(res.Sessions)/elapsed.Seconds())
+		res.Sessions, res.WallSec, res.SessionsPerSec)
 	return nil
+}
+
+// printProgress writes a live status line to stderr every second until
+// stop closes: sessions done, throughput, and the ETA estimate.
+func printProgress(live *campaign.Live, target int64, stop chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Fprintln(os.Stderr)
+			return
+		case <-tick.C:
+			done := live.Completed()
+			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d sessions (%.0f/sec, ETA %.0fs)   ",
+				done, target, live.SessionsPerSec(), live.ETASec())
+		}
+	}
 }

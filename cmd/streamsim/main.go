@@ -6,6 +6,12 @@
 //	streamsim -trace 1 -algo ours
 //	streamsim -trace 3 -algo festive -v
 //	streamsim -trace 2 -algo optimal -alpha 0.5
+//	streamsim -trace 1 -algo ours -trace-out decisions.ndjson
+//	streamsim -trace 1 -algo bba -trace-out - | jq .rung
+//
+// -trace-out records the per-segment decision trace (what the
+// algorithm saw and chose) and writes it as NDJSON to the given file,
+// or to stdout with "-". -trace-sample keeps every Nth decision.
 package main
 
 import (
@@ -31,6 +37,9 @@ func run(args []string) error {
 	algo := fs.String("algo", "ours", "policy: youtube | festive | bba | bola | mpc | ours | optimal")
 	alpha := fs.Float64("alpha", ecavs.DefaultAlpha, "energy weight in [0,1] (ours/optimal)")
 	verbose := fs.Bool("v", false, "print per-segment log")
+	traceOut := fs.String("trace-out", "", "write the NDJSON decision trace to this file (\"-\" for stdout)")
+	traceSample := fs.Int("trace-sample", 1, "keep every Nth decision in the trace")
+	traceCap := fs.Int("trace-cap", 4096, "decision-trace ring capacity (oldest events overwritten)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,9 +95,25 @@ func run(args []string) error {
 		return fmt.Errorf("unknown policy %q", *algo)
 	}
 
-	m, err := ecavs.Stream(tr, alg)
+	var (
+		recorder *ecavs.DecisionRecorder
+		opts     []ecavs.StreamOption
+	)
+	if *traceOut != "" {
+		if recorder, err = ecavs.NewDecisionRecorder(*traceCap, *traceSample); err != nil {
+			return err
+		}
+		opts = append(opts, ecavs.WithDecisionRecorder(recorder))
+	}
+
+	m, err := ecavs.Stream(tr, alg, opts...)
 	if err != nil {
 		return err
+	}
+	if recorder != nil {
+		if err := writeTrace(*traceOut, recorder); err != nil {
+			return err
+		}
 	}
 	baseJ, err := ecavs.BaseEnergyJ(tr)
 	if err != nil {
@@ -115,4 +140,22 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeTrace emits the recorded decision trace as NDJSON to path, or
+// to stdout for "-". The session summary goes to stdout too, so piping
+// the trace usually wants a file path instead.
+func writeTrace(path string, r *ecavs.DecisionRecorder) error {
+	if path == "-" {
+		return r.WriteNDJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -57,6 +57,11 @@ type (
 	Objective = core.Objective
 	// Plan is an offline-optimal bitrate schedule.
 	Plan = core.Plan
+	// DecisionRecorder is a sampled ring buffer of per-segment ABR
+	// decision events (see WithDecisionRecorder).
+	DecisionRecorder = sim.DecisionRecorder
+	// DecisionEvent is one recorded ABR decision snapshot.
+	DecisionEvent = sim.DecisionEvent
 )
 
 // DefaultAlpha is the paper's evaluation weighting (energy and QoE
@@ -175,6 +180,23 @@ func WithLTETailEnergy() StreamOption {
 		rrc := power.DefaultRRC()
 		s.RRC = &rrc
 	}
+}
+
+// NewDecisionRecorder returns a decision-trace recorder holding the
+// most recent `capacity` sampled events, keeping every sampleEvery-th
+// decision (values below 1 mean every decision). Emit the trace with
+// its WriteNDJSON method.
+func NewDecisionRecorder(capacity, sampleEvery int) (*DecisionRecorder, error) {
+	return sim.NewDecisionRecorder(capacity, sampleEvery)
+}
+
+// WithDecisionRecorder attaches a decision-trace recorder to the
+// session: one sampled event per segment capturing what the algorithm
+// saw (buffer, signal, vibration) and what it chose (rung, implied
+// power draw, realized QoE). A nil recorder leaves the session's hot
+// path untouched.
+func WithDecisionRecorder(r *DecisionRecorder) StreamOption {
+	return func(s *sim.TraceSession) { s.Recorder = r }
 }
 
 // Stream replays a policy over a trace with the paper's evaluation

@@ -100,6 +100,11 @@ type Config struct {
 	// ThresholdSec is the buffer threshold beta (default
 	// player.DefaultBufferThresholdSec).
 	ThresholdSec float64
+	// Live, when non-nil, receives one observation per finished session
+	// for live telemetry (see NewLive). It never feeds back into the
+	// simulation: results stay bit-identical with or without it, and a
+	// nil Live costs the hot path a single pointer comparison.
+	Live *Live
 }
 
 // Dist summarizes one metric's distribution over a campaign. P50 and
@@ -133,11 +138,19 @@ type AlgoSummary struct {
 
 // Result is a campaign's full outcome. Memory is O(algorithms), not
 // O(sessions).
+//
+// WallSec and SessionsPerSec are timing annotations for tooling
+// (cmd/campaign fills them in for its -json output); Run itself leaves
+// them zero so its result stays a pure function of (Config, Seed,
+// Shards) — the determinism tests DeepEqual entire Results.
 type Result struct {
 	Sessions   int           `json:"sessions"`
 	Seed       int64         `json:"seed"`
 	Shards     int           `json:"shards"`
 	Algorithms []AlgoSummary `json:"algorithms"`
+
+	WallSec        float64 `json:"wall_sec,omitempty"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // metricAgg streams one metric: exact moments plus two quantile
@@ -287,6 +300,8 @@ func Run(cfg Config) (*Result, error) {
 		manifests[i] = man
 	}
 
+	cfg.Live.init(algos, cfg.Sessions)
+
 	shardAggs := make([][]algoAgg, shards)
 	err := pool.Run(shards, shards, func(shard int) error {
 		aggs := newShardAgg(len(algos))
@@ -342,6 +357,7 @@ func Run(cfg Config) (*Result, error) {
 				return fmt.Errorf("campaign: session %d %s on trace %d: %w", u, algos[ai].Name, cfg.Traces[ti].ID, err)
 			}
 			aggs[ai].observe(m)
+			cfg.Live.observe(ai, m)
 		}
 		return nil
 	})

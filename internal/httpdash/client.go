@@ -10,6 +10,7 @@ import (
 
 	"ecavs/internal/abr"
 	"ecavs/internal/player"
+	"ecavs/internal/telemetry"
 )
 
 // Typed fetch failures.
@@ -93,6 +94,21 @@ type Client struct {
 	threshold  float64
 	retry      RetryPolicy
 	jitter     uint64 // splitmix64 state for backoff jitter
+	tel        clientTelemetry
+}
+
+// clientTelemetry mirrors the Stats resilience counters into a
+// registry. All fields are nil without WithClientTelemetry; nil
+// metrics are no-ops, so the fetch loop updates them unconditionally.
+type clientTelemetry struct {
+	segments   *telemetry.Counter
+	bytes      *telemetry.Counter
+	retries    *telemetry.Counter
+	downgrades *telemetry.Counter
+	timeouts   *telemetry.Counter
+	truncated  *telemetry.Counter
+	abandoned  *telemetry.Counter
+	stallSec   *telemetry.Gauge
 }
 
 // ClientOption customises the client.
@@ -123,6 +139,38 @@ func WithBufferThreshold(sec float64) ClientOption {
 func WithRetryPolicy(p RetryPolicy) ClientOption {
 	return func(c *Client) {
 		c.retry = p
+	}
+}
+
+// WithClientTelemetry mirrors the client's resilience counters into a
+// telemetry registry:
+//
+//	httpdash_client_segments_total    segments fetched successfully
+//	httpdash_client_bytes_total       segment payload bytes received
+//	httpdash_client_retries_total     re-attempted fetches
+//	httpdash_client_downgrades_total  rung step-downs while retrying
+//	httpdash_client_timeouts_total    per-attempt deadline hits
+//	httpdash_client_truncated_total   short bodies rejected
+//	httpdash_client_abandoned_total   segments given up after retries
+//	httpdash_client_stall_seconds     cumulative virtual-playback stall
+//
+// A nil registry is a no-op. Multiple clients sharing one registry
+// share the series — the counters describe the fleet.
+func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.tel = clientTelemetry{
+			segments:   reg.Counter("httpdash_client_segments_total", "Segments fetched successfully."),
+			bytes:      reg.Counter("httpdash_client_bytes_total", "Segment payload bytes received."),
+			retries:    reg.Counter("httpdash_client_retries_total", "Re-attempted segment fetches."),
+			downgrades: reg.Counter("httpdash_client_downgrades_total", "Ladder rung step-downs applied while retrying."),
+			timeouts:   reg.Counter("httpdash_client_timeouts_total", "Fetch attempts that hit the per-attempt deadline."),
+			truncated:  reg.Counter("httpdash_client_truncated_total", "Fetch attempts rejected for a short body."),
+			abandoned:  reg.Counter("httpdash_client_abandoned_total", "Segments abandoned after the retry budget ran out."),
+			stallSec:   reg.Gauge("httpdash_client_stall_seconds", "Cumulative virtual-playback stall time."),
+		}
 	}
 }
 
@@ -269,6 +317,7 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 		drained := wall.Seconds()
 		if drained > bufferSec {
 			stats.StallSec += drained - bufferSec
+			c.tel.stallSec.Add(drained - bufferSec)
 			bufferSec = 0
 		} else {
 			bufferSec -= drained
@@ -287,6 +336,8 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 			ThroughputMbps: thMbps,
 		})
 		stats.TotalBytes += bytes
+		c.tel.segments.Inc()
+		c.tel.bytes.Add(bytes)
 		weighted += thMbps * float64(bytes)
 		brSum += br
 		if prevRung >= 0 && rung != prevRung {
@@ -316,9 +367,11 @@ func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifest
 		attempts = attempt + 1
 		if attempt > 0 {
 			stats.Retries++
+			c.tel.retries.Inc()
 			if c.retry.DowngradeOnRetry && rung > 0 {
 				rung--
 				stats.Downgrades++
+				c.tel.downgrades.Inc()
 			}
 			if err := c.backoff(ctx, attempt); err != nil {
 				return rung, 0, 0, attempts, err
@@ -346,8 +399,10 @@ func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifest
 		switch {
 		case deadlineHit:
 			stats.Timeouts++
+			c.tel.timeouts.Inc()
 		case errors.Is(ferr, ErrTruncated):
 			stats.Truncations++
+			c.tel.truncated.Inc()
 		default:
 			var se *statusError
 			if errors.As(ferr, &se) && se.code < 500 {
@@ -357,6 +412,7 @@ func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifest
 		lastErr = ferr
 	}
 	stats.AbandonedSegments++
+	c.tel.abandoned.Inc()
 	return rung, 0, 0, attempts, fmt.Errorf("%w (rung %d after %d attempts): %w",
 		ErrSegmentAbandoned, rung, attempts, lastErr)
 }

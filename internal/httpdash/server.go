@@ -15,10 +15,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecavs/internal/dash"
 	"ecavs/internal/faults"
+	"ecavs/internal/telemetry"
 )
 
 // Server serves one video: GET /manifest.mpd and
@@ -32,9 +34,24 @@ type Server struct {
 	rungByID map[string]int // repID -> ladder index
 	faults   *faults.Plan   // nil = healthy server
 
-	mu        sync.Mutex
-	rateMBps  float64 // 0 = unshaped
-	bytesSent int64
+	// Per-rung traffic accounting: lock-free so the 64 KiB chunk loop
+	// in writeBody never serialises transfers on a shared mutex.
+	rungStats []rungCounters
+
+	// Optional telemetry mirrors (nil without WithServerTelemetry;
+	// nil metrics are no-ops, so the serving path stays branch-free).
+	telRequests, telBytes, telFaults []*telemetry.Counter
+	telLatency                       *telemetry.Histogram
+
+	mu       sync.Mutex
+	rateMBps float64 // 0 = unshaped
+}
+
+// rungCounters is one rung's atomic traffic counters.
+type rungCounters struct {
+	requests atomic.Int64
+	bytes    atomic.Int64
+	faults   atomic.Int64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -49,6 +66,38 @@ func WithRateLimitMBps(mbps float64) ServerOption {
 		if mbps > 0 {
 			s.rateMBps = mbps
 		}
+	}
+}
+
+// WithServerTelemetry mirrors the server's per-rung traffic counters
+// into a telemetry registry:
+//
+//	httpdash_server_requests_total{rung}  segment requests accepted
+//	httpdash_server_bytes_total{rung}     segment payload bytes sent
+//	httpdash_server_faults_total{rung}    fault verdicts realized
+//	httpdash_server_segment_seconds       segment serve latency
+//
+// A nil registry is a no-op (Snapshot and BytesSent still work — they
+// read the always-on atomic counters).
+func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		requests := reg.CounterVec("httpdash_server_requests_total",
+			"Segment requests accepted, by ladder rung.", "rung")
+		bytes := reg.CounterVec("httpdash_server_bytes_total",
+			"Segment payload bytes sent, by ladder rung.", "rung")
+		faultsVec := reg.CounterVec("httpdash_server_faults_total",
+			"Injected fault verdicts realized, by ladder rung.", "rung")
+		for i := range s.repIDs {
+			rung := strconv.Itoa(i)
+			s.telRequests[i] = requests.With(rung)
+			s.telBytes[i] = bytes.With(rung)
+			s.telFaults[i] = faultsVec.With(rung)
+		}
+		s.telLatency = reg.Histogram("httpdash_server_segment_seconds",
+			"Wall-clock time serving one segment request.", telemetry.DefLatencyBuckets())
 	}
 }
 
@@ -83,10 +132,16 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 		byID[rep.ID] = i
 	}
 	s := &Server{
-		manifest: m,
-		mpdXML:   []byte(sb.String()),
-		repIDs:   ids,
-		rungByID: byID,
+		manifest:  m,
+		mpdXML:    []byte(sb.String()),
+		repIDs:    ids,
+		rungByID:  byID,
+		rungStats: make([]rungCounters, len(ids)),
+		// Telemetry mirrors default to nil entries — a nil *Counter is
+		// a no-op, so the serving path increments unconditionally.
+		telRequests: make([]*telemetry.Counter, len(ids)),
+		telBytes:    make([]*telemetry.Counter, len(ids)),
+		telFaults:   make([]*telemetry.Counter, len(ids)),
 	}
 	for _, o := range opts {
 		o(s)
@@ -106,11 +161,53 @@ func (s *Server) SetRateLimitMBps(mbps float64) {
 	s.rateMBps = mbps
 }
 
-// BytesSent reports the total segment payload served.
+// RungSnapshot is one ladder rung's traffic totals.
+type RungSnapshot struct {
+	// RepID is the rung's representation ID in the MPD.
+	RepID string `json:"rep_id"`
+	// Requests counts accepted segment requests (before any fault
+	// verdict), Bytes the payload actually written, and Faults the
+	// injected fault verdicts realized for this rung.
+	Requests int64 `json:"requests"`
+	Bytes    int64 `json:"bytes"`
+	Faults   int64 `json:"faults"`
+}
+
+// Snapshot is a point-in-time copy of the server's traffic counters.
+type Snapshot struct {
+	// Rungs is index-aligned with the manifest ladder.
+	Rungs []RungSnapshot `json:"rungs"`
+	// Requests, Bytes, Faults are the cross-rung totals.
+	Requests int64 `json:"requests"`
+	Bytes    int64 `json:"bytes"`
+	Faults   int64 `json:"faults"`
+}
+
+// Snapshot reads the per-rung traffic counters. Counters are sampled
+// one atomic load at a time, so a snapshot taken mid-transfer is
+// approximate across rungs but never torn within one counter.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{Rungs: make([]RungSnapshot, len(s.rungStats))}
+	for i := range s.rungStats {
+		rc := &s.rungStats[i]
+		r := RungSnapshot{
+			RepID:    s.repIDs[i],
+			Requests: rc.requests.Load(),
+			Bytes:    rc.bytes.Load(),
+			Faults:   rc.faults.Load(),
+		}
+		snap.Rungs[i] = r
+		snap.Requests += r.Requests
+		snap.Bytes += r.Bytes
+		snap.Faults += r.Faults
+	}
+	return snap
+}
+
+// BytesSent reports the total segment payload served — a compatibility
+// wrapper over Snapshot for callers that predate per-rung accounting.
 func (s *Server) BytesSent() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytesSent
+	return s.Snapshot().Bytes
 }
 
 // ServeHTTP implements http.Handler.
@@ -178,12 +275,23 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		size = 1
 	}
 
+	// The request resolved to a real segment: account it (and its
+	// serve latency) to the rung, whatever the fault plan does next.
+	s.rungStats[rung].requests.Add(1)
+	s.telRequests[rung].Inc()
+	start := time.Now()
+	defer func() { s.telLatency.Observe(time.Since(start).Seconds()) }()
+
 	// Fault verdicts apply only to valid segment requests, so a broken
 	// URL is still a plain 4xx and retries burn plan attempts only for
 	// real segments.
 	var verdict faults.Verdict
 	if s.faults != nil {
 		verdict = s.faults.Verdict(r.URL.Path)
+	}
+	if verdict.Kind != faults.None {
+		s.rungStats[rung].faults.Add(1)
+		s.telFaults[rung].Inc()
 	}
 	switch verdict.Kind {
 	case faults.Error5xx:
@@ -204,21 +312,22 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "video/iso.segment")
 		w.Header().Set("Content-Length", strconv.Itoa(size))
-		s.writeBody(w, r, cut, 0)
+		s.writeBody(w, r, rung, cut, 0)
 		panic(http.ErrAbortHandler)
 	}
 
 	w.Header().Set("Content-Type", "video/iso.segment")
 	w.Header().Set("Content-Length", strconv.Itoa(size))
-	s.writeBody(w, r, size, verdict.Stall)
+	s.writeBody(w, r, rung, size, verdict.Stall)
 }
 
-// writeBody streams size synthetic bytes, re-reading the shaping rate
-// under the mutex every chunk so SetRateLimitMBps applies to transfers
-// already in flight. A positive stall hangs the response before the
+// writeBody streams size synthetic bytes for one rung, re-reading the
+// shaping rate under the mutex every chunk so SetRateLimitMBps applies
+// to transfers already in flight (byte accounting is atomic and never
+// touches the mutex). A positive stall hangs the response before the
 // first body byte — the client sits blocked on the transfer until its
 // per-attempt deadline fires (or the stall ends).
-func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, size int, stall time.Duration) {
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size int, stall time.Duration) {
 	if stall > 0 && !sleepOrGone(r, stall) {
 		return
 	}
@@ -237,8 +346,9 @@ func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, size int, sta
 			return // client went away
 		}
 		remaining -= n
+		s.rungStats[rung].bytes.Add(int64(n))
+		s.telBytes[rung].Add(int64(n))
 		s.mu.Lock()
-		s.bytesSent += int64(n)
 		rate := s.rateMBps
 		s.mu.Unlock()
 		if rate > 0 {

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ecavs/internal/abr"
+)
+
+func TestRecorderRingAndSampling(t *testing.T) {
+	r, err := NewDecisionRecorder(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(DecisionEvent{Segment: i})
+	}
+	if r.Seen() != 10 || r.Len() != 4 {
+		t.Errorf("seen %d len %d, want 10 and 4", r.Seen(), r.Len())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := 6 + i; ev.Segment != want {
+			t.Errorf("event %d is segment %d, want %d (oldest-first after wrap)", i, ev.Segment, want)
+		}
+	}
+
+	sampled, err := NewDecisionRecorder(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sampled.Record(DecisionEvent{Segment: i})
+	}
+	want := []int{0, 3, 6, 9}
+	got := sampled.Events()
+	if len(got) != len(want) {
+		t.Fatalf("sampled %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		if ev.Segment != want[i] {
+			t.Errorf("sampled event %d is segment %d, want %d", i, ev.Segment, want[i])
+		}
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	if _, err := NewDecisionRecorder(0, 1); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if r, err := NewDecisionRecorder(1, -5); err != nil || r.every != 1 {
+		t.Errorf("sampleEvery below 1 not clamped: %v, %+v", err, r)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *DecisionRecorder
+	r.Record(DecisionEvent{})
+	if r.Seen() != 0 || r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder reported state")
+	}
+	if err := r.WriteNDJSON(&strings.Builder{}); err != nil {
+		t.Errorf("nil recorder NDJSON: %v", err)
+	}
+}
+
+// TestSessionDecisionTrace replays a session with the recorder
+// attached and checks that the trace mirrors the segment log: one
+// event per fetched segment carrying the same rung, vibration, and QoE
+// the simulator recorded.
+func TestSessionDecisionTrace(t *testing.T) {
+	rec, err := NewDecisionRecorder(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := &fixedLink{signal: -95, rate: 1.5}
+	cfg := baseConfig(t, abr.NewFESTIVE(), link)
+	cfg.VibrationAt = func(tSec float64) float64 { return 2 + float64(int(tSec)%3) }
+	cfg.Recorder = rec
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) != len(m.Segments) {
+		t.Fatalf("%d trace events for %d segments", len(evs), len(m.Segments))
+	}
+	for i, ev := range evs {
+		log := m.Segments[i]
+		if ev.Segment != log.Index || ev.Rung != log.Rung ||
+			ev.BitrateMbps != log.BitrateMbps || ev.Vibration != log.Vibration ||
+			ev.QoE != log.QoE {
+			t.Errorf("event %d diverges from segment log:\nevent = %+v\nlog   = %+v", i, ev, log)
+		}
+		if ev.PowerW <= 0 {
+			t.Errorf("event %d has non-positive power draw %v", i, ev.PowerW)
+		}
+	}
+}
+
+// TestRecorderDoesNotPerturbMetrics pins the observability contract:
+// attaching a recorder must leave every session metric bit-identical.
+func TestRecorderDoesNotPerturbMetrics(t *testing.T) {
+	run := func(rec *DecisionRecorder) *Metrics {
+		link := &fixedLink{signal: -95, rate: 1.5}
+		cfg := baseConfig(t, abr.NewFESTIVE(), link)
+		cfg.MetricsOnly = true
+		cfg.Recorder = rec
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	rec, err := NewDecisionRecorder(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, traced := run(nil), run(rec)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("recorder changed session metrics:\nplain  = %+v\ntraced = %+v", plain, traced)
+	}
+	if rec.Len() == 0 {
+		t.Error("recorder captured nothing")
+	}
+}
+
+// TestNDJSONOutput checks the offline-analysis format: one JSON object
+// per line, schema fields present, order oldest-first.
+func TestNDJSONOutput(t *testing.T) {
+	rec, err := NewDecisionRecorder(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := &fixedLink{signal: -95, rate: 1.5}
+	cfg := baseConfig(t, abr.NewFESTIVE(), link)
+	cfg.Recorder = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lines := 0
+	prevSegment := -1
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		for _, key := range []string{"segment", "rung", "bitrate_mbps", "buffer_sec", "signal_dbm", "vibration", "power_w", "qoe"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("line %d missing %q", lines+1, key)
+			}
+		}
+		seg := int(ev["segment"].(float64))
+		if seg <= prevSegment {
+			t.Errorf("line %d out of order: segment %d after %d", lines+1, seg, prevSegment)
+		}
+		prevSegment = seg
+		lines++
+	}
+	if lines != rec.Len() {
+		t.Errorf("NDJSON emitted %d lines for %d held events", lines, rec.Len())
+	}
+	if lines == 0 {
+		t.Error("no trace lines emitted")
+	}
+}

@@ -51,6 +51,9 @@ type TraceSession struct {
 	// MetricsOnly skips per-segment log retention (see
 	// Config.MetricsOnly).
 	MetricsOnly bool
+	// Recorder receives sampled per-segment decision events (see
+	// Config.Recorder). Nil disables tracing at zero cost.
+	Recorder *DecisionRecorder
 }
 
 // Run replays the session.
@@ -94,6 +97,7 @@ func (s TraceSession) Run() (*Metrics, error) {
 		AbandonAtSec:       s.AbandonAtSec,
 		Outage:             s.Outage,
 		MetricsOnly:        s.MetricsOnly,
+		Recorder:           s.Recorder,
 	})
 }
 

@@ -68,6 +68,12 @@ type Config struct {
 	// allocation-free; the default (full logs) is what cmd/experiments
 	// and the figure pipelines consume.
 	MetricsOnly bool
+	// Recorder, when non-nil, receives one DecisionEvent per segment —
+	// the sampled decision trace behind the telemetry layer's NDJSON
+	// output. Nil (the default) keeps the hot path untouched: the only
+	// cost is one pointer comparison per segment, preserving the
+	// 18-alloc session pin and bit-identical campaign determinism.
+	Recorder *DecisionRecorder
 }
 
 // SegmentLog records one task's outcome.
@@ -348,6 +354,18 @@ func Run(cfg Config) (*Metrics, error) {
 			Vibration:       vib,
 			RebufferSec:     segStall,
 		})
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(DecisionEvent{
+				Segment:     i,
+				Rung:        rung,
+				BitrateMbps: ladder[rung].BitrateMbps,
+				BufferSec:   ctx.BufferSec,
+				SignalDBm:   ctx.SignalDBm,
+				Vibration:   vib,
+				PowerW:      cfg.Power.PlaybackPowerW(ladder[rung].BitrateMbps) + cfg.Power.RadioPowerW(ctx.SignalDBm),
+				QoE:         segQoE,
+			})
+		}
 		if !cfg.MetricsOnly {
 			m.Segments = append(m.Segments, SegmentLog{
 				Index:          i,

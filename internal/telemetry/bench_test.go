@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkCounterInc is the single-threaded hot-path cost of one
+// increment — what every instrumented call site pays when telemetry is
+// live.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncDisabled is the same call site with telemetry off
+// (nil counter) — the overhead the zero-cost contract allows.
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterParallel measures contended increments — the shape
+// the campaign runner produces with one observation per session across
+// all shards.
+func BenchmarkCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_par_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", DefLatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 250)
+	}
+}
+
+// BenchmarkWritePrometheus renders a registry of realistic size (a few
+// families, a 14-rung vec, histograms) — the per-scrape cost.
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_rung_total", "per rung", "rung")
+	for i := 0; i < 14; i++ {
+		v.With(strconv.Itoa(i)).Add(int64(i * 100))
+	}
+	r.Counter("bench_sessions_total", "").Add(12345)
+	r.Gauge("bench_rate", "").Set(2917.4)
+	h := r.Histogram("bench_latency_seconds", "", DefLatencyBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 50)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
