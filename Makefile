@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos obs bench bench-diff experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs bench bench-diff benchsmoke experiments examples cover
 
 all: build vet test
 
@@ -43,7 +43,7 @@ obs:
 	go test -count=1 -run 'TestSessionAllocsTelemetryDisabled' .
 
 # bench runs the full suite with -benchmem and records a dated JSON
-# snapshot (name, ns/op, allocs/op) for regression tracking.
+# snapshot (name, ns/op, allocs/op, B/op) for regression tracking.
 bench:
 	go test -bench=. -benchmem ./... | tee /dev/stderr | go run ./cmd/benchdiff -parse -out BENCH_$(shell date +%Y-%m-%d).json
 
@@ -51,6 +51,22 @@ bench:
 #   make bench-diff OLD=BENCH_2026-08-01.json NEW=BENCH_2026-08-06.json
 bench-diff:
 	go run ./cmd/benchdiff -old $(OLD) -new $(NEW)
+
+# benchsmoke runs the session and campaign benchmarks once each
+# (-benchtime=1x: a compile-and-execute smoke test, not a measurement)
+# and diffs the result against the newest committed snapshot.
+# Single-iteration numbers are noisy — timings wildly, and allocations
+# somewhat, because b.N=1 charges one-time memoization (compiled traces,
+# rung tables) to the only iteration — so the diff is informational:
+# the leading `-` keeps it from failing the build. The real gate is a
+# full `make bench` snapshot compared with bench-diff.
+# Dated snapshots sort lexicographically by date; BENCH_seed.json is
+# excluded so the baseline is the most recent recording, not the seed.
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_2*.json)))
+benchsmoke:
+	go test -bench='Session|Campaign' -benchtime=1x -benchmem -run='^$$' . \
+		| go run ./cmd/benchdiff -parse -out /tmp/benchsmoke.json
+	-go run ./cmd/benchdiff -old $(BENCH_BASELINE) -new /tmp/benchsmoke.json
 
 # Regenerate every paper table/figure plus the ablations and extensions.
 experiments:

@@ -7,10 +7,16 @@
 //	go test -bench=. -benchmem ./... | benchdiff -parse -out BENCH_2026-08-06.json
 //
 // Compare mode diffs two snapshots and exits non-zero when any
-// benchmark present in both regressed by more than the threshold
-// (default 20%) on ns/op or allocs/op:
+// benchmark present in both regressed beyond its threshold on a gated
+// metric. All three metrics — ns/op, allocs/op, B/op — are gated by
+// default at -threshold (20%); -threshold-allocs and -threshold-bytes
+// override the allocation gates independently (time is often noisy
+// where allocation counts are exact, so the alloc gates can be much
+// tighter), and -metric restricts which metrics are gated at all:
 //
 //	benchdiff -old BENCH_2026-08-01.json -new BENCH_2026-08-06.json
+//	benchdiff -old old.json -new new.json -threshold-allocs 0 -threshold-bytes 0.05
+//	benchdiff -old old.json -new new.json -metric ns
 package main
 
 import (
@@ -47,7 +53,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	out := fs.String("out", "", "snapshot file to write (default stdout)")
 	oldPath := fs.String("old", "", "baseline snapshot (compare mode)")
 	newPath := fs.String("new", "", "candidate snapshot (compare mode)")
-	threshold := fs.Float64("threshold", 0.20, "max allowed fractional regression on ns/op or allocs/op")
+	threshold := fs.Float64("threshold", 0.20, "max allowed fractional regression on any gated metric")
+	thresholdAllocs := fs.Float64("threshold-allocs", -1, "allocs/op threshold override (negative inherits -threshold)")
+	thresholdBytes := fs.Float64("threshold-bytes", -1, "B/op threshold override (negative inherits -threshold)")
+	metric := fs.String("metric", "ns,allocs,bytes", "comma-separated metrics to gate: ns, allocs, bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +93,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *oldPath == "" || *newPath == "" {
 		return fmt.Errorf("need either -parse, or both -old and -new")
 	}
+	gates, err := parseGates(*metric, *threshold, *thresholdAllocs, *thresholdBytes)
+	if err != nil {
+		return err
+	}
 	oldRes, err := loadSnapshot(*oldPath)
 	if err != nil {
 		return err
@@ -92,7 +105,51 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return compare(stdout, oldRes, newRes, *threshold)
+	return compare(stdout, oldRes, newRes, gates)
+}
+
+// metricGate is one gated metric: its display name, the maximum
+// fractional regression it tolerates, and how to read it off a Result.
+type metricGate struct {
+	name      string
+	threshold float64
+	value     func(Result) float64
+}
+
+// parseGates resolves the -metric selection and the per-metric
+// thresholds into the list of gates compare enforces. Negative
+// overrides inherit the base threshold; duplicate selections collapse;
+// an unknown metric name or an empty selection is an error.
+func parseGates(metrics string, base, allocs, bytes float64) ([]metricGate, error) {
+	if allocs < 0 {
+		allocs = base
+	}
+	if bytes < 0 {
+		bytes = base
+	}
+	known := map[string]metricGate{
+		"ns":     {name: "ns/op", threshold: base, value: func(r Result) float64 { return r.NsPerOp }},
+		"allocs": {name: "allocs/op", threshold: allocs, value: func(r Result) float64 { return r.AllocsOp }},
+		"bytes":  {name: "B/op", threshold: bytes, value: func(r Result) float64 { return r.BytesOp }},
+	}
+	var gates []metricGate
+	seen := make(map[string]bool, 3)
+	for _, tok := range strings.Split(metrics, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" || seen[tok] {
+			continue
+		}
+		g, ok := known[tok]
+		if !ok {
+			return nil, fmt.Errorf("unknown metric %q (want ns, allocs, or bytes)", tok)
+		}
+		seen[tok] = true
+		gates = append(gates, g)
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("-metric selects no metrics")
+	}
+	return gates, nil
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.
@@ -167,12 +224,13 @@ func loadSnapshot(path string) (map[string]Result, error) {
 
 // compare prints a per-benchmark delta table — including benchmarks
 // present in only one snapshot, reported as added or removed — and
-// returns an error when any shared benchmark regressed beyond the
-// threshold on ns/op or allocs/op. Added and removed benchmarks never
-// fail the comparison (new benchmarks have no baseline; deletions are
-// deliberate), but they are printed so a silently vanished benchmark
-// cannot masquerade as a clean run.
-func compare(w io.Writer, oldRes, newRes map[string]Result, threshold float64) error {
+// returns an error when any shared benchmark regressed beyond a gate's
+// threshold on that gate's metric. All three metrics are always
+// printed; only the selected gates can fail the run. Added and removed
+// benchmarks never fail the comparison (new benchmarks have no
+// baseline; deletions are deliberate), but they are printed so a
+// silently vanished benchmark cannot masquerade as a clean run.
+func compare(w io.Writer, oldRes, newRes map[string]Result, gates []metricGate) error {
 	var shared, added, removed []string
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
@@ -195,32 +253,43 @@ func compare(w io.Writer, oldRes, newRes map[string]Result, threshold float64) e
 	var regressions []string
 	for _, name := range shared {
 		o, n := oldRes[name], newRes[name]
-		dns := delta(o.NsPerOp, n.NsPerOp)
-		dal := delta(o.AllocsOp, n.AllocsOp)
-		mark := "  "
-		if dns > threshold || dal > threshold {
-			mark = "! "
-			regressions = append(regressions, name)
+		var failed []string
+		for _, g := range gates {
+			if d := delta(g.value(o), g.value(n)); d > g.threshold {
+				failed = append(failed, fmt.Sprintf("%s %+.1f%% > %.0f%%", g.name, 100*d, 100*g.threshold))
+			}
 		}
-		fmt.Fprintf(w, "%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
-			mark, name, o.NsPerOp, n.NsPerOp, 100*dns, o.AllocsOp, n.AllocsOp, 100*dal)
+		mark := "  "
+		if len(failed) > 0 {
+			mark = "! "
+			regressions = append(regressions, fmt.Sprintf("%s (%s)", name, strings.Join(failed, "; ")))
+		}
+		fmt.Fprintf(w, "%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)  B/op %10.0f -> %10.0f (%+6.1f%%)\n",
+			mark, name,
+			o.NsPerOp, n.NsPerOp, 100*delta(o.NsPerOp, n.NsPerOp),
+			o.AllocsOp, n.AllocsOp, 100*delta(o.AllocsOp, n.AllocsOp),
+			o.BytesOp, n.BytesOp, 100*delta(o.BytesOp, n.BytesOp))
 	}
 	for _, name := range added {
 		n := newRes[name]
-		fmt.Fprintf(w, "+ %-40s ns/op %12s -> %12.0f            allocs/op %8s -> %8.0f          (added)\n",
-			name, "-", n.NsPerOp, "-", n.AllocsOp)
+		fmt.Fprintf(w, "+ %-40s ns/op %12s -> %12.0f            allocs/op %8s -> %8.0f            B/op %10s -> %10.0f          (added)\n",
+			name, "-", n.NsPerOp, "-", n.AllocsOp, "-", n.BytesOp)
 	}
 	for _, name := range removed {
 		o := oldRes[name]
-		fmt.Fprintf(w, "- %-40s ns/op %12.0f -> %12s            allocs/op %8.0f -> %8s          (removed)\n",
-			name, o.NsPerOp, "-", o.AllocsOp, "-")
+		fmt.Fprintf(w, "- %-40s ns/op %12.0f -> %12s            allocs/op %8.0f -> %8s            B/op %10.0f -> %10s          (removed)\n",
+			name, o.NsPerOp, "-", o.AllocsOp, "-", o.BytesOp, "-")
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
-			len(regressions), 100*threshold, strings.Join(regressions, ", "))
+		return fmt.Errorf("%d benchmark(s) regressed: %s",
+			len(regressions), strings.Join(regressions, ", "))
 	}
-	fmt.Fprintf(w, "OK: %d benchmarks within %.0f%% of baseline (%d added, %d removed)\n",
-		len(shared), 100*threshold, len(added), len(removed))
+	gateNames := make([]string, len(gates))
+	for i, g := range gates {
+		gateNames[i] = fmt.Sprintf("%s ≤ +%.0f%%", g.name, 100*g.threshold)
+	}
+	fmt.Fprintf(w, "OK: %d benchmarks within baseline (%s; %d added, %d removed)\n",
+		len(shared), strings.Join(gateNames, ", "), len(added), len(removed))
 	return nil
 }
 

@@ -44,6 +44,17 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// allGates builds the default gate set (ns, allocs, bytes) at one
+// shared threshold, the way run does with no overrides.
+func allGates(t *testing.T, threshold float64) []metricGate {
+	t.Helper()
+	gates, err := parseGates("ns,allocs,bytes", threshold, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gates
+}
+
 func TestCompareDetectsRegression(t *testing.T) {
 	oldRes := map[string]Result{
 		"A": {Name: "A", NsPerOp: 100, AllocsOp: 10},
@@ -56,7 +67,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		"C": {Name: "C", NsPerOp: 90, AllocsOp: 13},  // allocs/op regression
 	}
 	var buf bytes.Buffer
-	err := compare(&buf, oldRes, newRes, 0.20)
+	err := compare(&buf, oldRes, newRes, allGates(t, 0.20))
 	if err == nil {
 		t.Fatalf("want regression error, got nil; output:\n%s", buf.String())
 	}
@@ -74,7 +85,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 1000, AllocsOp: 100}}
 	newRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 5}}
 	var buf bytes.Buffer
-	if err := compare(&buf, oldRes, newRes, 0.20); err != nil {
+	if err := compare(&buf, oldRes, newRes, allGates(t, 0.20)); err != nil {
 		t.Fatalf("improvement flagged as regression: %v", err)
 	}
 }
@@ -116,7 +127,7 @@ func TestCompareReportsAddedAndRemoved(t *testing.T) {
 		"NewOnly": {Name: "NewOnly", NsPerOp: 200, AllocsOp: 20},
 	}
 	var buf bytes.Buffer
-	if err := compare(&buf, oldRes, newRes, 0.20); err != nil {
+	if err := compare(&buf, oldRes, newRes, allGates(t, 0.20)); err != nil {
 		t.Fatalf("added/removed benchmarks must not fail the comparison: %v", err)
 	}
 	out := buf.String()
@@ -134,7 +145,7 @@ func TestCompareReportsAddedAndRemoved(t *testing.T) {
 func TestCompareNoSharedBenchmarks(t *testing.T) {
 	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 1}}
 	newRes := map[string]Result{"B": {Name: "B", NsPerOp: 1}}
-	if err := compare(&bytes.Buffer{}, oldRes, newRes, 0.20); err == nil {
+	if err := compare(&bytes.Buffer{}, oldRes, newRes, allGates(t, 0.20)); err == nil {
 		t.Fatal("disjoint snapshots must error rather than pass vacuously")
 	}
 }
@@ -142,5 +153,111 @@ func TestCompareNoSharedBenchmarks(t *testing.T) {
 func TestRunRejectsMissingArgs(t *testing.T) {
 	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Fatal("want usage error, got nil")
+	}
+}
+
+func TestCompareDetectsBytesRegression(t *testing.T) {
+	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1000}}
+	newRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1300}}
+	var buf bytes.Buffer
+	err := compare(&buf, oldRes, newRes, allGates(t, 0.20))
+	if err == nil {
+		t.Fatalf("B/op regression not caught; output:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "B/op") {
+		t.Errorf("error %q does not name the regressed metric", err)
+	}
+}
+
+func TestComparePerMetricThreshold(t *testing.T) {
+	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1000}}
+	// +10% everywhere: inside the 20% base gate, outside a 5% alloc gate.
+	newRes := map[string]Result{"A": {Name: "A", NsPerOp: 110, AllocsOp: 11, BytesOp: 1100}}
+	gates, err := parseGates("ns,allocs,bytes", 0.20, 0.05, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpErr := compare(&bytes.Buffer{}, oldRes, newRes, gates)
+	if cmpErr == nil {
+		t.Fatal("tightened allocs/op gate did not fire")
+	}
+	if !strings.Contains(cmpErr.Error(), "allocs/op") {
+		t.Errorf("error %q does not name allocs/op", cmpErr)
+	}
+	if strings.Contains(cmpErr.Error(), "ns/op") || strings.Contains(cmpErr.Error(), "B/op") {
+		t.Errorf("metrics within their own thresholds flagged: %v", cmpErr)
+	}
+}
+
+func TestCompareMetricSelection(t *testing.T) {
+	oldRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1000}}
+	// Huge alloc and byte regressions, flat time.
+	newRes := map[string]Result{"A": {Name: "A", NsPerOp: 100, AllocsOp: 30, BytesOp: 9000}}
+	gates, err := parseGates("ns", 0.20, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compare(&buf, oldRes, newRes, gates); err != nil {
+		t.Fatalf("-metric ns must ignore ungated regressions: %v", err)
+	}
+	// The ungated metrics still appear in the table for eyeballs.
+	if !strings.Contains(buf.String(), "9000") {
+		t.Errorf("ungated B/op value missing from table:\n%s", buf.String())
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("ns, allocs,allocs", 0.20, -1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 || gates[0].name != "ns/op" || gates[1].name != "allocs/op" {
+		t.Fatalf("gates = %+v, want deduped [ns/op allocs/op]", gates)
+	}
+	if gates[1].threshold != 0.20 {
+		t.Errorf("allocs threshold %v, want inherited 0.20", gates[1].threshold)
+	}
+	if _, err := parseGates("ns,heap", 0.20, -1, -1); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := parseGates(" , ", 0.20, -1, -1); err == nil {
+		t.Error("empty metric selection accepted")
+	}
+	bytesOnly, err := parseGates("bytes", 0.20, -1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesOnly[0].threshold != 0.05 {
+		t.Errorf("bytes threshold %v, want override 0.05", bytesOnly[0].threshold)
+	}
+}
+
+func TestRunMetricFlags(t *testing.T) {
+	dir := t.TempDir()
+	oldSnap := filepath.Join(dir, "old.json")
+	newSnap := filepath.Join(dir, "new.json")
+	writeSnap := func(path string, r Result) {
+		data, err := json.Marshal([]Result{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSnap(oldSnap, Result{Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1000})
+	writeSnap(newSnap, Result{Name: "A", NsPerOp: 100, AllocsOp: 10, BytesOp: 1500})
+	var out bytes.Buffer
+	// Default gates catch the B/op regression...
+	if err := run([]string{"-old", oldSnap, "-new", newSnap}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("default gates missed a 50% B/op regression")
+	}
+	// ...and -metric narrows the gate set back to passing.
+	if err := run([]string{"-old", oldSnap, "-new", newSnap, "-metric", "ns,allocs"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("-metric ns,allocs should pass: %v", err)
+	}
+	if err := run([]string{"-old", oldSnap, "-new", newSnap, "-metric", "heap"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("unknown -metric value accepted")
 	}
 }

@@ -224,6 +224,11 @@ func Stream(tr *Trace, alg Algorithm, opts ...StreamOption) (*Metrics, error) {
 	for _, o := range opts {
 		o(&session)
 	}
+	// Compile the per-rung QoE table after the options ran, in case one
+	// swapped the model; the table must match the session's QoE.
+	if session.RungQoE == nil {
+		session.RungQoE = session.QoE.CompileRungs(man.Ladder().Bitrates())
+	}
 	return session.Run()
 }
 

@@ -289,16 +289,26 @@ func Run(cfg Config) (*Result, error) {
 		shards = cfg.Sessions
 	}
 
-	// Manifests are derived once per trace and shared read-only across
-	// all sessions.
+	// Manifests and compiled traces are derived once per trace and
+	// shared read-only across all sessions: every shard hands the same
+	// immutable *trace.Compiled (prefix-summed vibration, shared link
+	// points) to its sessions, so the compile cost is amortized over
+	// the whole campaign. One QoE rung table covers every session —
+	// all manifests share the ladder. trace.CompileStats exposes the
+	// amortization to the telemetry gauges.
 	manifests := make([]*dash.Manifest, len(cfg.Traces))
+	compiled := make([]*trace.Compiled, len(cfg.Traces))
 	for i, tr := range cfg.Traces {
 		man, err := sim.ManifestForTrace(tr, ladder)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: trace %d manifest: %w", tr.ID, err)
 		}
 		manifests[i] = man
+		if compiled[i], err = tr.Compiled(); err != nil {
+			return nil, fmt.Errorf("campaign: trace %d compile: %w", tr.ID, err)
+		}
 	}
+	rungQoE := qm.CompileRungs(ladder.Bitrates())
 
 	cfg.Live.init(algos, cfg.Sessions)
 
@@ -334,12 +344,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 			ses := sim.TraceSession{
 				Trace:        cfg.Traces[ti],
+				Compiled:     compiled[ti],
 				Manifest:     manifests[ti],
 				Algorithm:    alg,
 				Power:        pm,
 				QoE:          qm,
 				ThresholdSec: threshold,
 				MetricsOnly:  true,
+				RungQoE:      rungQoE,
 			}
 			if abandonGate < cfg.AbandonProb {
 				ses.AbandonAtSec = (0.1 + 0.8*abandonFrac) * cfg.Traces[ti].LengthSec

@@ -6,6 +6,7 @@ import (
 
 	"ecavs/internal/sim"
 	"ecavs/internal/telemetry"
+	"ecavs/internal/trace"
 )
 
 // Live publishes a running campaign's progress as telemetry: live
@@ -67,6 +68,20 @@ func NewLive(reg *telemetry.Registry) *Live {
 		"Completion throughput since the campaign started.", l.SessionsPerSec)
 	reg.GaugeFunc("campaign_eta_seconds",
 		"Estimated seconds until the campaign completes.", l.ETASec)
+	// Compiled-trace amortization (process-wide): a healthy campaign
+	// compiles once per distinct trace while hits grow with sessions.
+	reg.GaugeFunc("campaign_trace_compiles_total",
+		"Trace compilations performed process-wide (one per distinct trace).",
+		func() float64 {
+			compiles, _ := trace.CompileStats()
+			return float64(compiles)
+		})
+	reg.GaugeFunc("campaign_trace_compile_hits_total",
+		"Compiled-trace cache hits process-wide (sessions reusing a shared compilation).",
+		func() float64 {
+			_, hits := trace.CompileStats()
+			return float64(hits)
+		})
 	return l
 }
 

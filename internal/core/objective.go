@@ -146,6 +146,53 @@ func (o Objective) ScoreRungsInto(base Candidate, bitrates, sizesMB, costs []flo
 	return nil
 }
 
+// ScoreRungsCompiled is ScoreRungsInto driven by a compiled per-rung
+// QoE table instead of the model's transcendental curve functions: the
+// candidate bitrates are the table's rungs and prevRung indexes the
+// previous segment's rung in the same table (negative = first segment,
+// no switch penalty). base.BitrateMbps, base.SizeMB and
+// base.PrevBitrateMbps are ignored. The table must have been compiled
+// from o.QoE with the same ladder bitrates; given that, the costs and
+// estimates are bit-identical to ScoreRungsInto (pinned by
+// TestScoreRungsCompiledBitIdentical) while evaluating zero math.Pow
+// calls per decision.
+func (o Objective) ScoreRungsCompiled(base Candidate, rt *qoe.RungTable, prevRung int, sizesMB, costs []float64, ests []Estimate) error {
+	k := rt.Len()
+	if k == 0 || len(sizesMB) != k {
+		return errors.New("core: sizes must be non-empty and parallel the rung table")
+	}
+	if len(costs) != k || len(ests) != k {
+		return errors.New("core: cost and estimate buffers must parallel the rung table")
+	}
+	if rt.Model() != o.QoE {
+		return errors.New("core: rung table compiled from a different QoE model")
+	}
+	if prevRung >= k {
+		return fmt.Errorf("core: previous rung %d outside table of %d rungs", prevRung, k)
+	}
+	thMBps := base.BandwidthMbps / 8
+	for j := 0; j < k; j++ {
+		b := o.Power.SegmentEnergy(power.SegmentTask{
+			BitrateMbps:    rt.Bitrate(j),
+			DurationSec:    base.DurationSec,
+			SizeMB:         sizesMB[j],
+			SignalDBm:      base.SignalDBm,
+			ThroughputMBps: thMBps,
+			BufferSec:      base.BufferSec,
+		})
+		ests[j] = Estimate{
+			EnergyJ:     b.TotalJ(),
+			QoE:         rt.SegmentQoE(j, prevRung, base.Vibration, b.RebufferSec),
+			RebufferSec: b.RebufferSec,
+		}
+	}
+	ref := ests[k-1]
+	for j := range ests {
+		costs[j] = o.Cost(ests[j], ref)
+	}
+	return nil
+}
+
 // ArgminCost returns the index of the smallest cost (ties go to the
 // lower rung, i.e. the more energy-frugal choice).
 func ArgminCost(costs []float64) int {

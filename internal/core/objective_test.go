@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"ecavs/internal/power"
@@ -188,5 +189,74 @@ func TestArgminCost(t *testing.T) {
 				t.Errorf("ArgminCost(%v) = %d, want %d", tt.costs, got, tt.want)
 			}
 		})
+	}
+}
+
+// ScoreRungsCompiled must be bit-identical to ScoreRungsInto across
+// randomized candidates: the simulator and the online algorithm switch
+// between the two paths depending on whether a compiled table is
+// available, and the campaign determinism tests compare runs with ==.
+func TestScoreRungsCompiledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	obj := testObjective(t, 0.5)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(10)
+		bitrates := make([]float64, k)
+		sizes := make([]float64, k)
+		r := 0.1 + rng.Float64()
+		for j := 0; j < k; j++ {
+			bitrates[j] = r
+			sizes[j] = r / 8 * 2 * (0.8 + 0.4*rng.Float64())
+			r += rng.Float64() * 2
+		}
+		prevRung := rng.Intn(k+1) - 1 // -1 = first segment
+		base := Candidate{
+			DurationSec:   2,
+			SignalDBm:     -120 + rng.Float64()*40,
+			BandwidthMbps: rng.Float64() * 40,
+			BufferSec:     rng.Float64() * 40,
+			Vibration:     rng.Float64() * 6,
+		}
+		if prevRung >= 0 {
+			base.PrevBitrateMbps = bitrates[prevRung]
+		}
+		wantCosts := make([]float64, k)
+		wantEsts := make([]Estimate, k)
+		if err := obj.ScoreRungsInto(base, bitrates, sizes, wantCosts, wantEsts); err != nil {
+			t.Fatal(err)
+		}
+		rt := obj.QoE.CompileRungs(bitrates)
+		gotCosts := make([]float64, k)
+		gotEsts := make([]Estimate, k)
+		if err := obj.ScoreRungsCompiled(base, rt, prevRung, sizes, gotCosts, gotEsts); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			if gotCosts[j] != wantCosts[j] || gotEsts[j] != wantEsts[j] {
+				t.Fatalf("trial %d rung %d (prev %d): compiled cost=%v est=%+v, reference cost=%v est=%+v",
+					trial, j, prevRung, gotCosts[j], gotEsts[j], wantCosts[j], wantEsts[j])
+			}
+		}
+	}
+}
+
+func TestScoreRungsCompiledErrors(t *testing.T) {
+	obj := testObjective(t, 0.5)
+	rt := obj.QoE.CompileRungs([]float64{1, 2})
+	costs := make([]float64, 2)
+	ests := make([]Estimate, 2)
+	if err := obj.ScoreRungsCompiled(Candidate{}, rt, -1, []float64{1}, costs, ests); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	if err := obj.ScoreRungsCompiled(Candidate{}, rt, 2, []float64{1, 2}, costs, ests); err == nil {
+		t.Error("out-of-range previous rung accepted")
+	}
+	if err := obj.ScoreRungsCompiled(Candidate{}, rt, -1, []float64{1, 2}, costs[:1], ests); err == nil {
+		t.Error("short cost buffer accepted")
+	}
+	other := obj.QoE
+	other.P01 *= 2
+	if err := obj.ScoreRungsCompiled(Candidate{}, other.CompileRungs([]float64{1, 2}), -1, []float64{1, 2}, costs, ests); err == nil {
+		t.Error("foreign-model table accepted")
 	}
 }

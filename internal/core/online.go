@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"ecavs/internal/abr"
+	"ecavs/internal/dash"
 	"ecavs/internal/netsim"
+	"ecavs/internal/qoe"
 )
 
 // Online is the paper's online bitrate-selection algorithm
@@ -28,9 +30,16 @@ type Online struct {
 	// Per-decision scratch, reused across ChooseRung calls so the
 	// steady-state decision path does not allocate. An Online instance
 	// is owned by one session and must not be shared across goroutines.
-	bitrates []float64
-	costs    []float64
-	ests     []Estimate
+	costs []float64
+	ests  []Estimate
+
+	// rungs is the compiled per-rung QoE table for the ladder last seen
+	// by ChooseRung, keyed by the ladder's backing array identity (the
+	// simulator hands the same ladder slice every segment, so this
+	// compiles once per session and the decision path evaluates no
+	// transcendentals).
+	rungs    *qoe.RungTable
+	rungsKey *dash.Representation
 }
 
 var _ abr.Algorithm = (*Online)(nil)
@@ -101,19 +110,18 @@ func (o *Online) ChooseRung(ctx abr.Context) (int, error) {
 		Vibration:       ctx.VibrationLevel,
 		PrevBitrateMbps: ctx.Ladder[prevRung].BitrateMbps,
 	}
-	if k := len(ctx.Ladder); cap(o.bitrates) < k {
-		o.bitrates = make([]float64, k)
+	if k := len(ctx.Ladder); cap(o.costs) < k {
 		o.costs = make([]float64, k)
 		o.ests = make([]Estimate, k)
 	} else {
-		o.bitrates = o.bitrates[:k]
 		o.costs = o.costs[:k]
 		o.ests = o.ests[:k]
 	}
-	for j, rep := range ctx.Ladder {
-		o.bitrates[j] = rep.BitrateMbps
+	if o.rungs == nil || o.rungsKey != &ctx.Ladder[0] || o.rungs.Len() != len(ctx.Ladder) {
+		o.rungs = o.obj.QoE.CompileRungs(ctx.Ladder.Bitrates())
+		o.rungsKey = &ctx.Ladder[0]
 	}
-	if err := o.obj.ScoreRungsInto(base, o.bitrates, sizes, o.costs, o.ests); err != nil {
+	if err := o.obj.ScoreRungsCompiled(base, o.rungs, prevRung, sizes, o.costs, o.ests); err != nil {
 		return 0, err
 	}
 	ref := ArgminCost(o.costs)

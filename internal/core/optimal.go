@@ -9,6 +9,7 @@ import (
 	"ecavs/internal/dash"
 	"ecavs/internal/graph"
 	"ecavs/internal/power"
+	"ecavs/internal/qoe"
 	"ecavs/internal/trace"
 )
 
@@ -66,15 +67,21 @@ type PlanConfig struct {
 type taskScorer struct {
 	obj      Objective
 	bitrates []float64
+	// rungs is the ladder's compiled Eq. 1 curve table: Q0(r_j), the
+	// regrouped impairment coefficients, and the clamp, all computed
+	// once at construction. It replaces the per-task OriginalQuality /
+	// PerceivedQuality calls the scorer previously made, removing the
+	// last transcendentals from the planner entirely; the table path is
+	// bit-identical to the model's curve functions, so the DP's costs
+	// do not change by a single bit.
+	rungs *qoe.RungTable
 	// Per-rung, previous-rung-independent terms of the current task:
-	// energy and stall time from the power model, the Eq. 1 curve
-	// values Q0(r) and PerceivedQuality(r, v). Hoisting them out of
-	// scoreInto's inner loop removes every transcendental from the
-	// planner's O(n·k²) hot path without changing a single bit of the
-	// resulting costs (the curve functions are pure).
+	// energy and stall time from the power model and the perceived
+	// quality at the task's vibration level. Hoisting them out of
+	// scoreInto's inner loop keeps the O(n·k²) hot path multiply-add
+	// only.
 	energyJ   []float64
 	rebufSec  []float64
-	q0        []float64
 	perceived []float64
 }
 
@@ -83,9 +90,9 @@ func newTaskScorer(obj Objective, bitrates []float64) *taskScorer {
 	return &taskScorer{
 		obj:       obj,
 		bitrates:  bitrates,
+		rungs:     obj.QoE.CompileRungs(bitrates),
 		energyJ:   make([]float64, k),
 		rebufSec:  make([]float64, k),
-		q0:        make([]float64, k),
 		perceived: make([]float64, k),
 	}
 }
@@ -104,8 +111,7 @@ func (s *taskScorer) beginTask(t TaskObservation) {
 		})
 		s.energyJ[j] = b.TotalJ()
 		s.rebufSec[j] = b.RebufferSec
-		s.q0[j] = s.obj.QoE.OriginalQuality(r)
-		s.perceived[j] = s.obj.QoE.PerceivedQuality(r, t.Vibration)
+		s.perceived[j] = s.rungs.Perceived(j, t.Vibration)
 	}
 }
 
@@ -119,10 +125,10 @@ func (s *taskScorer) scoreInto(t TaskObservation, p int, costs []float64) {
 	prev, q0Prev := 0.0, 0.0
 	if p < len(s.bitrates) {
 		prev = s.bitrates[p]
-		q0Prev = s.q0[p]
+		q0Prev = s.rungs.OriginalQuality(p)
 	}
 	for j := range s.bitrates {
-		costs[j] = s.obj.QoE.SegmentQoEParts(s.perceived[j], s.q0[j], prev, q0Prev, s.rebufSec[j])
+		costs[j] = s.obj.QoE.SegmentQoEParts(s.perceived[j], s.rungs.OriginalQuality(j), prev, q0Prev, s.rebufSec[j])
 	}
 	k := len(s.bitrates)
 	ref := Estimate{EnergyJ: s.energyJ[k-1], QoE: costs[k-1]}
@@ -338,43 +344,41 @@ func verifyPlan(sc *taskScorer, tasks []TaskObservation, plan Plan) error {
 // i x segment duration — the timeline the paper's offline planner
 // assumes. bufferSec is the steady-state buffer assumption (typically
 // the 30 s threshold); windowSec is the vibration window.
+//
+// Observations are built from the trace's compiled form (validated and
+// memoized on first use): signal and bandwidth come from the same
+// zero-order hold a TraceLink replays bit-for-bit, and the vibration
+// level from the O(1) prefix-sum query, which agrees with the
+// reference two-pass computation within 1e-9 (DESIGN.md §10). Each
+// observation's SizesMB aliases the manifest's internal per-segment
+// row and must be treated as read-only.
 func ObserveTasks(tr *trace.Trace, m *dash.Manifest, bufferSec, windowSec float64) ([]TaskObservation, error) {
 	if tr == nil || m == nil {
 		return nil, errors.New("core: nil trace or manifest")
 	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	link, err := tr.Link()
+	c, err := tr.Compiled()
 	if err != nil {
 		return nil, err
 	}
+	cur := c.Cursor()
 	n := m.SegmentCount()
-	k := len(m.Ladder())
 	out := make([]TaskObservation, 0, n)
 	for i := 0; i < n; i++ {
 		t := float64(i) * m.SegmentSec()
-		for link.Now() < t {
-			link.Advance(t - link.Now())
-		}
 		dur, err := m.SegmentDuration(i)
 		if err != nil {
 			return nil, err
 		}
-		sizes := make([]float64, k)
-		for j := 0; j < k; j++ {
-			s, err := m.SegmentSizeMB(i, j)
-			if err != nil {
-				return nil, err
-			}
-			sizes[j] = s
+		sizes, err := m.SegmentSizes(i)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, TaskObservation{
 			SizesMB:       sizes,
 			DurationSec:   dur,
-			SignalDBm:     link.SignalDBm(),
-			BandwidthMbps: link.ThroughputMBps() * 8,
-			Vibration:     tr.VibrationAt(t, windowSec),
+			SignalDBm:     cur.SignalAt(t),
+			BandwidthMbps: cur.ThroughputMBpsAt(t) * 8,
+			Vibration:     cur.VibrationAt(t, windowSec),
 			BufferSec:     bufferSec,
 		})
 	}

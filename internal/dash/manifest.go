@@ -121,6 +121,18 @@ func (m *Manifest) SegmentSizeMB(seg, rung int) (float64, error) {
 	return m.sizeMB[seg][rung], nil
 }
 
+// SegmentSizes returns segment seg's payload per ladder rung, indexed
+// by rung. The returned slice is the manifest's internal row: callers
+// MUST treat it as read-only. It exists for per-segment hot paths
+// (session replay, task observation) where copying k sizes per
+// segment per session dominated the allocation profile.
+func (m *Manifest) SegmentSizes(seg int) ([]float64, error) {
+	if seg < 0 || seg >= len(m.sizeMB) {
+		return nil, ErrNoSuchRung
+	}
+	return m.sizeMB[seg], nil
+}
+
 // TotalSizeMB returns the video's total payload when every segment is
 // fetched at the given rung.
 func (m *Manifest) TotalSizeMB(rung int) (float64, error) {

@@ -60,10 +60,11 @@ type inflightComparison struct {
 
 // traceArtifacts caches what the evaluation derives per trace.
 type traceArtifacts struct {
-	man   *dash.Manifest
-	baseJ float64
-	tasks []core.TaskObservation
-	plans map[float64]core.Plan // keyed by objective alpha
+	man      *dash.Manifest
+	baseJ    float64
+	tasks    []core.TaskObservation
+	plans    map[float64]core.Plan // keyed by objective alpha
+	compiled *trace.Compiled       // shared immutable compiled form
 }
 
 // NewEnv returns the paper's evaluation environment.
@@ -247,6 +248,13 @@ func (e *Env) artifactsFor(tr *trace.Trace) (*traceArtifacts, error) {
 	}
 	e.mu.Unlock()
 
+	// Compile first: it validates the trace once and every downstream
+	// artifact (base-energy replay, task observation, ablation/sweep
+	// sessions) shares the one compiled form via the trace's memo.
+	comp, err := tr.Compiled()
+	if err != nil {
+		return nil, fmt.Errorf("eval: trace %d compile: %w", tr.ID, err)
+	}
 	man, err := sim.ManifestForTrace(tr, e.Ladder)
 	if err != nil {
 		return nil, fmt.Errorf("eval: trace %d manifest: %w", tr.ID, err)
@@ -259,7 +267,7 @@ func (e *Env) artifactsFor(tr *trace.Trace) (*traceArtifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: trace %d tasks: %w", tr.ID, err)
 	}
-	a := &traceArtifacts{man: man, baseJ: baseJ, tasks: tasks, plans: make(map[float64]core.Plan)}
+	a := &traceArtifacts{man: man, baseJ: baseJ, tasks: tasks, plans: make(map[float64]core.Plan), compiled: comp}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()

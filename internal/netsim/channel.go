@@ -211,6 +211,19 @@ func NewTraceLink(points []TracePoint) (*TraceLink, error) {
 	return &TraceLink{points: cp}, nil
 }
 
+// ReplayTraceLink returns a Link replaying points WITHOUT copying or
+// re-validating them. The caller must guarantee the slice is
+// time-ordered, non-empty, and never mutated for the link's lifetime —
+// the contract trace.Compiled provides, where one validated point
+// slice backs a fresh TraceLink per session and a per-session copy
+// would dominate the session allocation profile.
+func ReplayTraceLink(points []TracePoint) (*TraceLink, error) {
+	if len(points) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return &TraceLink{points: points}, nil
+}
+
 // Now implements Link.
 func (t *TraceLink) Now() float64 { return t.now }
 

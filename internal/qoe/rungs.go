@@ -1,0 +1,99 @@
+package qoe
+
+// RungTable is a per-rung compilation of the Eq. 1 curve terms for a
+// fixed bitrate ladder: the rate-quality values Q0(r_j) (each costs a
+// math.Pow) and the impairment surface regrouped per rung so that
+// I(r_j, v) becomes two multiply-adds in the vibration level. The
+// online algorithm scores every rung of every segment and the
+// simulator scores the chosen rung once more, so hoisting the
+// transcendental curve evaluations into a once-per-session table
+// removes them from the per-decision hot path entirely.
+//
+// Every query is arithmetically bit-identical to the corresponding
+// Model method (the operations are regrouped only where Go's
+// evaluation order already rounds identically), which is pinned by
+// TestRungTableBitIdentical. A RungTable is immutable after
+// CompileRungs and safe for concurrent use.
+type RungTable struct {
+	m        Model
+	bitrates []float64
+	q0       []float64 // OriginalQuality(r_j)
+	impBase  []float64 // P00 + P10*r_j      (the v-independent impairment term)
+	impVib   []float64 // P11*r_j            (the r·v cross coefficient)
+	maxImp   []float64 // q0_j - MinQuality  (the impairment clamp)
+}
+
+// CompileRungs precomputes the per-rung curve table for the given
+// ladder bitrates (Mbps). The slice is copied; the table never aliases
+// caller memory.
+func (m Model) CompileRungs(bitratesMbps []float64) *RungTable {
+	k := len(bitratesMbps)
+	// One backing array keeps the table at two allocations — sessions
+	// that compile per run stay inside the campaign allocation budget.
+	backing := make([]float64, 5*k)
+	t := &RungTable{
+		m:        m,
+		bitrates: backing[0*k : 1*k : 1*k],
+		q0:       backing[1*k : 2*k : 2*k],
+		impBase:  backing[2*k : 3*k : 3*k],
+		impVib:   backing[3*k : 4*k : 4*k],
+		maxImp:   backing[4*k : 5*k : 5*k],
+	}
+	for j, r := range bitratesMbps {
+		t.bitrates[j] = r
+		t.q0[j] = m.OriginalQuality(r)
+		t.impBase[j] = m.P00 + m.P10*r
+		t.impVib[j] = m.P11 * r
+		t.maxImp[j] = t.q0[j] - MinQuality
+	}
+	return t
+}
+
+// Model returns the model the table was compiled from.
+func (t *RungTable) Model() Model { return t.m }
+
+// Len returns the number of rungs in the table.
+func (t *RungTable) Len() int { return len(t.bitrates) }
+
+// Bitrate returns rung j's encoded bitrate in Mbps.
+func (t *RungTable) Bitrate(j int) float64 { return t.bitrates[j] }
+
+// OriginalQuality returns Q0(r_j) from the table.
+func (t *RungTable) OriginalQuality(j int) float64 { return t.q0[j] }
+
+// Impairment returns I(r_j, v), bit-identical to Model.Impairment:
+// the raw surface value is evaluated as ((P00+P10·r) + P01·v) +
+// (P11·r)·v — the exact association Go uses for the written-out
+// polynomial — with the first and last parenthesised terms read from
+// the table.
+func (t *RungTable) Impairment(j int, vibration float64) float64 {
+	if t.bitrates[j] <= 0 || vibration <= 0 {
+		return 0
+	}
+	raw := t.impBase[j] + t.m.P01*vibration + t.impVib[j]*vibration
+	if raw < 0 {
+		return 0
+	}
+	if raw > t.maxImp[j] {
+		return t.maxImp[j]
+	}
+	return raw
+}
+
+// Perceived returns Q0(r_j) - I(r_j, v), bit-identical to
+// Model.PerceivedQuality.
+func (t *RungTable) Perceived(j int, vibration float64) float64 {
+	return t.q0[j] - t.Impairment(j, vibration)
+}
+
+// SegmentQoE evaluates Eq. 1 for rung j following previous rung
+// prevRung (negative = first segment, no switch penalty), bit-identical
+// to Model.SegmentQoE with the corresponding ladder bitrates.
+func (t *RungTable) SegmentQoE(j, prevRung int, vibration, rebufferSec float64) float64 {
+	prevBitrate, q0Prev := 0.0, 0.0
+	if prevRung >= 0 {
+		prevBitrate = t.bitrates[prevRung]
+		q0Prev = t.q0[prevRung]
+	}
+	return t.m.SegmentQoEParts(t.Perceived(j, vibration), t.q0[j], prevBitrate, q0Prev, rebufferSec)
+}

@@ -1,0 +1,86 @@
+package qoe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The table path must be *bit-identical* to the direct Model methods —
+// the simulator swaps between them depending on whether a compiled
+// table is supplied, and the campaign determinism tests compare runs
+// with ==. The regrouped impairment evaluation preserves Go's
+// left-associated rounding, so exact equality is the contract.
+func TestRungTableBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	models := []Model{Default()}
+	for i := 0; i < 4; i++ {
+		m := Default()
+		m.C1 = 0.5 + rng.Float64()*2
+		m.C2 = 0.2 + rng.Float64()*2
+		m.P00 = (rng.Float64() - 0.5) * 0.1
+		m.P10 = (rng.Float64() - 0.5) * 0.01
+		m.P01 = rng.Float64() * 0.05
+		m.P11 = rng.Float64() * 0.05
+		m.SwitchPenalty = rng.Float64()
+		m.RebufferPenalty = rng.Float64() * 2
+		models = append(models, m)
+	}
+	for _, m := range models {
+		bitrates := make([]float64, 1+rng.Intn(8))
+		for j := range bitrates {
+			bitrates[j] = 0.1 + rng.Float64()*8
+		}
+		tab := m.CompileRungs(bitrates)
+		if tab.Len() != len(bitrates) {
+			t.Fatalf("Len() = %d, want %d", tab.Len(), len(bitrates))
+		}
+		if tab.Model() != m {
+			t.Fatalf("Model() = %+v, want %+v", tab.Model(), m)
+		}
+		for trial := 0; trial < 200; trial++ {
+			j := rng.Intn(len(bitrates))
+			prev := rng.Intn(len(bitrates)+1) - 1 // -1 = first segment
+			v := 0.0
+			if rng.Intn(4) > 0 {
+				v = rng.Float64() * 5
+			}
+			rebuf := 0.0
+			if rng.Intn(3) == 0 {
+				rebuf = rng.Float64() * 4
+			}
+			if got, want := tab.Bitrate(j), bitrates[j]; got != want {
+				t.Fatalf("Bitrate(%d) = %v, want %v", j, got, want)
+			}
+			if got, want := tab.OriginalQuality(j), m.OriginalQuality(bitrates[j]); got != want {
+				t.Fatalf("OriginalQuality(%d) = %v, want %v", j, got, want)
+			}
+			if got, want := tab.Impairment(j, v), m.Impairment(bitrates[j], v); got != want {
+				t.Fatalf("Impairment(%d, %v) = %v, want %v (model %v)", j, v, got, want, m)
+			}
+			if got, want := tab.Perceived(j, v), m.PerceivedQuality(bitrates[j], v); got != want {
+				t.Fatalf("Perceived(%d, %v) = %v, want %v", j, v, got, want)
+			}
+			seg := Segment{BitrateMbps: bitrates[j], Vibration: v, RebufferSec: rebuf}
+			if prev >= 0 {
+				seg.PrevBitrateMbps = bitrates[prev]
+			}
+			if got, want := tab.SegmentQoE(j, prev, v, rebuf), m.SegmentQoE(seg); got != want {
+				t.Fatalf("SegmentQoE(%d, %d, %v, %v) = %v, want %v (model %v)",
+					j, prev, v, rebuf, got, want, m)
+			}
+		}
+	}
+}
+
+// CompileRungs must not alias the caller's slice: mutating the input
+// afterwards must not change table answers.
+func TestRungTableCopiesBitrates(t *testing.T) {
+	m := Default()
+	bitrates := []float64{0.5, 1.2, 3.0}
+	tab := m.CompileRungs(bitrates)
+	want := tab.Bitrate(1)
+	bitrates[1] = 99
+	if tab.Bitrate(1) != want {
+		t.Fatalf("table aliased caller slice: Bitrate(1) = %v, want %v", tab.Bitrate(1), want)
+	}
+}

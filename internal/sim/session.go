@@ -18,6 +18,16 @@ import (
 type TraceSession struct {
 	// Trace supplies the link and accelerometer streams.
 	Trace *trace.Trace
+	// Compiled, when non-nil, is the trace's compiled form — the
+	// shared, immutable artifact a campaign builds once per trace and
+	// hands to every shard (it must satisfy Compiled.Trace() == Trace).
+	// Nil falls back to Trace.Compiled(), which compiles on first use
+	// and memoizes on the trace, so repeated sessions over one trace
+	// still share a single compilation.
+	Compiled *trace.Compiled
+	// RungQoE, when non-nil, is the ladder's compiled QoE table (see
+	// Config.RungQoE). Nil keeps the direct Eq. 1 path.
+	RungQoE *qoe.RungTable
 	// Manifest is the video being streamed.
 	Manifest *dash.Manifest
 	// Algorithm selects bitrates; it is Reset before the run.
@@ -56,18 +66,27 @@ type TraceSession struct {
 	Recorder *DecisionRecorder
 }
 
-// Run replays the session.
+// Run replays the session. The trace is queried through its compiled
+// form (validated once at compile time and shared across sessions):
+// the link replays the trace's network points without copying them,
+// and the vibration signal comes from the O(1) prefix-sum query via a
+// per-session cursor, which agrees with the reference two-pass
+// computation within 1e-9 (DESIGN.md §10).
 func (s TraceSession) Run() (*Metrics, error) {
 	if s.Trace == nil {
 		return nil, errors.New("sim: nil trace")
 	}
-	if err := s.Trace.Validate(); err != nil {
-		return nil, err
+	comp := s.Compiled
+	if comp == nil {
+		var err error
+		comp, err = s.Trace.Compiled()
+		if err != nil {
+			return nil, err
+		}
+	} else if comp.Trace() != s.Trace {
+		return nil, errors.New("sim: compiled form belongs to a different trace")
 	}
-	link, err := s.Trace.Link()
-	if err != nil {
-		return nil, err
-	}
+	link := comp.Link()
 	if s.Algorithm != nil {
 		s.Algorithm.Reset()
 	}
@@ -75,14 +94,17 @@ func (s TraceSession) Run() (*Metrics, error) {
 	if window <= 0 {
 		window = vibration.DefaultWindowSec
 	}
-	vibAt := func(t float64) float64 { return s.Trace.VibrationAt(t, window) }
-	if scale := s.VibrationScale; scale > 0 && scale != 1 {
-		tr := s.Trace
-		vibAt = func(t float64) float64 { return scale * tr.VibrationAt(t, window) }
-	}
-	if s.ForceVibration != nil {
+	cur := comp.Cursor()
+	var vibAt func(float64) float64
+	switch {
+	case s.ForceVibration != nil:
 		v := *s.ForceVibration
 		vibAt = func(float64) float64 { return v }
+	case s.VibrationScale > 0 && s.VibrationScale != 1:
+		scale := s.VibrationScale
+		vibAt = func(t float64) float64 { return scale * cur.VibrationAt(t, window) }
+	default:
+		vibAt = func(t float64) float64 { return cur.VibrationAt(t, window) }
 	}
 	return Run(Config{
 		Manifest:           s.Manifest,
@@ -98,6 +120,7 @@ func (s TraceSession) Run() (*Metrics, error) {
 		Outage:             s.Outage,
 		MetricsOnly:        s.MetricsOnly,
 		Recorder:           s.Recorder,
+		RungQoE:            s.RungQoE,
 	})
 }
 
@@ -106,6 +129,10 @@ func (s TraceSession) Run() (*Metrics, error) {
 // accelerometer stream, windowed the way the online estimator would
 // see it (Section IV-B).
 func RunOnTrace(tr *trace.Trace, m *dash.Manifest, alg abr.Algorithm, pm power.Model, qm qoe.Model, thresholdSec float64) (*Metrics, error) {
+	var rt *qoe.RungTable
+	if m != nil {
+		rt = qm.CompileRungs(m.Ladder().Bitrates())
+	}
 	return TraceSession{
 		Trace:        tr,
 		Manifest:     m,
@@ -113,6 +140,7 @@ func RunOnTrace(tr *trace.Trace, m *dash.Manifest, alg abr.Algorithm, pm power.M
 		Power:        pm,
 		QoE:          qm,
 		ThresholdSec: thresholdSec,
+		RungQoE:      rt,
 	}.Run()
 }
 

@@ -74,6 +74,16 @@ type Config struct {
 	// cost is one pointer comparison per segment, preserving the
 	// 18-alloc session pin and bit-identical campaign determinism.
 	Recorder *DecisionRecorder
+	// RungQoE, when non-nil, is a per-rung QoE table compiled from QoE
+	// over the manifest ladder's bitrates (qoe.Model.CompileRungs); the
+	// realized per-segment QoE is then read from the table instead of
+	// re-evaluating the Eq. 1 curve functions. The table path is
+	// bit-identical to the direct one, so results do not change — only
+	// the per-segment math.Pow calls disappear. Callers that replay
+	// many sessions over one ladder (campaign, eval) compile once and
+	// share the table; nil keeps the direct path and its allocation
+	// profile.
+	RungQoE *qoe.RungTable
 }
 
 // SegmentLog records one task's outcome.
@@ -220,6 +230,19 @@ func Run(cfg Config) (*Metrics, error) {
 		return nil, err
 	}
 	ladder := cfg.Manifest.Ladder()
+	if cfg.RungQoE != nil {
+		if cfg.RungQoE.Model() != cfg.QoE {
+			return nil, errors.New("sim: rung table compiled from a different QoE model")
+		}
+		if cfg.RungQoE.Len() != len(ladder) {
+			return nil, fmt.Errorf("sim: rung table has %d rungs for a %d-rung ladder", cfg.RungQoE.Len(), len(ladder))
+		}
+		for j := range ladder {
+			if cfg.RungQoE.Bitrate(j) != ladder[j].BitrateMbps {
+				return nil, fmt.Errorf("sim: rung table bitrate %d mismatches the ladder", j)
+			}
+		}
+	}
 	n := cfg.Manifest.SegmentCount()
 	m := &Metrics{Algorithm: cfg.Algorithm.Name()}
 	if !cfg.MetricsOnly {
@@ -229,14 +252,15 @@ func Run(cfg Config) (*Metrics, error) {
 	prevRung := -1
 
 	// Per-session scratch, sized once so the per-segment loop stays
-	// allocation-free: the rung-size vector handed to the algorithm,
-	// the fetched payload per segment (abandonment waste attribution),
-	// and the per-segment QoE scores for the session model. The scalar
-	// accumulators replace the post-loop passes over Metrics.Segments;
-	// they add the same terms in the same order, so the results are
-	// bit-identical to the log-driven computation.
+	// allocation-free: the fetched payload per segment (abandonment
+	// waste attribution) and the per-segment QoE scores for the session
+	// model. The rung-size vector handed to the algorithm is the
+	// manifest's internal row (read-only contract), so no per-session
+	// copy is needed. The scalar accumulators replace the post-loop
+	// passes over Metrics.Segments; they add the same terms in the same
+	// order, so the results are bit-identical to the log-driven
+	// computation.
 	var (
-		sizes    = make([]float64, len(ladder))
 		segSizes = make([]float64, 0, n)
 		scores   = make([]qoe.SegmentScore, 0, n)
 
@@ -297,12 +321,9 @@ func Run(cfg Config) (*Metrics, error) {
 		if err != nil {
 			return nil, err
 		}
-		for j := range ladder {
-			s, err := cfg.Manifest.SegmentSizeMB(i, j)
-			if err != nil {
-				return nil, err
-			}
-			sizes[j] = s
+		sizes, err := cfg.Manifest.SegmentSizes(i)
+		if err != nil {
+			return nil, err
 		}
 		vib := vibAt(now - startTime)
 		ctx := abr.Context{
@@ -344,16 +365,21 @@ func Run(cfg Config) (*Metrics, error) {
 		thMbps := res.MeanThroughputMBps * 8
 		cfg.Algorithm.ObserveDownload(thMbps)
 
-		prevBitrate := 0.0
-		if prevRung >= 0 {
-			prevBitrate = ladder[prevRung].BitrateMbps
+		var segQoE float64
+		if cfg.RungQoE != nil {
+			segQoE = cfg.RungQoE.SegmentQoE(rung, prevRung, vib, segStall)
+		} else {
+			prevBitrate := 0.0
+			if prevRung >= 0 {
+				prevBitrate = ladder[prevRung].BitrateMbps
+			}
+			segQoE = cfg.QoE.SegmentQoE(qoe.Segment{
+				BitrateMbps:     ladder[rung].BitrateMbps,
+				PrevBitrateMbps: prevBitrate,
+				Vibration:       vib,
+				RebufferSec:     segStall,
+			})
 		}
-		segQoE := cfg.QoE.SegmentQoE(qoe.Segment{
-			BitrateMbps:     ladder[rung].BitrateMbps,
-			PrevBitrateMbps: prevBitrate,
-			Vibration:       vib,
-			RebufferSec:     segStall,
-		})
 		if cfg.Recorder != nil {
 			cfg.Recorder.Record(DecisionEvent{
 				Segment:     i,

@@ -1,0 +1,27 @@
+package stats
+
+// Kahan is a compensated (Kahan) float64 accumulator: it carries the
+// low-order bits lost by each addition in a correction term, keeping
+// long running sums accurate to within a few ulps independent of
+// length. The trace compiler uses it to build prefix sums whose
+// windowed differences must agree with a direct two-pass computation
+// to ~1e-9 (see internal/trace.Compiled).
+//
+// The zero value is an empty sum, ready to use.
+type Kahan struct {
+	sum, comp float64
+}
+
+// Add folds x into the running sum.
+func (k *Kahan) Add(x float64) {
+	y := x - k.comp
+	t := k.sum + y
+	k.comp = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated running total.
+func (k *Kahan) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator back to an empty sum.
+func (k *Kahan) Reset() { k.sum, k.comp = 0, 0 }

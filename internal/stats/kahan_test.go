@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// A naive sum of many small terms onto a large base loses the small
+// terms entirely; the compensated sum must keep them.
+func TestKahanCompensates(t *testing.T) {
+	var k Kahan
+	k.Add(1e16)
+	for i := 0; i < 1000; i++ {
+		k.Add(1.0)
+	}
+	got := k.Sum() - 1e16
+	if math.Abs(got-1000) > 1 {
+		t.Fatalf("compensated sum lost small terms: 1e16+1000x1.0 - 1e16 = %v", got)
+	}
+
+	var naive float64 = 1e16
+	for i := 0; i < 1000; i++ {
+		naive += 1.0
+	}
+	if naive-1e16 >= 1000 {
+		t.Skip("platform sums 1e16+1.0 exactly; compensation not observable")
+	}
+}
+
+func TestKahanMatchesExactSmallSums(t *testing.T) {
+	var k Kahan
+	want := 0.0
+	for i := 1; i <= 100; i++ {
+		k.Add(float64(i))
+		want += float64(i)
+	}
+	if k.Sum() != want {
+		t.Fatalf("Sum() = %v, want %v", k.Sum(), want)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k Kahan
+	k.Add(3.5)
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Fatalf("Sum() after Reset = %v, want 0", k.Sum())
+	}
+	k.Add(2)
+	if k.Sum() != 2 {
+		t.Fatalf("Sum() after Reset+Add = %v, want 2", k.Sum())
+	}
+}

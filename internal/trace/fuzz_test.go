@@ -1,8 +1,13 @@
 package trace
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"ecavs/internal/netsim"
+	"ecavs/internal/vibration"
 )
 
 // The CSV decoders must never panic on arbitrary input — they return
@@ -39,4 +44,77 @@ func FuzzDecodeAccelCSV(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		_, _ = DecodeAccelCSV(strings.NewReader(input))
 	})
+}
+
+// FuzzCompiledVibrationAt drives the compiled-vs-reference agreement
+// contract (ISSUE 6): for any generated trace, query time, and window
+// — including query times beyond the trace end and windows longer
+// than the whole trace — Compiled.VibrationAt and the Cursor fast
+// path must match the reference (*Trace).VibrationAt within 1e-9.
+// The fuzzer controls the trace shape (seed, sample count, rate
+// irregularity, vibration amplitude) and the query geometry.
+func FuzzCompiledVibrationAt(f *testing.F) {
+	f.Add(int64(1), uint16(50), 0.02, 1.0, 5.0, 6.0)
+	f.Add(int64(2), uint16(2), 3.0, 0.0, -1.0, 0.0)      // sparse, default window
+	f.Add(int64(3), uint16(1000), 0.01, 4.0, 400.0, 2.0) // far past end
+	f.Add(int64(4), uint16(300), 0.5, 0.1, 3.0, 9999.0)  // window >> trace
+	f.Add(int64(5), uint16(10), 1.0, 2.0, -50.0, 3.0)    // before start
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, gap, amp, tSec, windowSec float64) {
+		if n == 0 {
+			n = 1
+		}
+		if !isFinite(gap) || !isFinite(amp) || !isFinite(tSec) || !isFinite(windowSec) {
+			t.Skip("non-finite geometry")
+		}
+		if gap <= 0 || gap > 10 {
+			gap = 0.02
+		}
+		if amp < 0 || amp > 100 {
+			amp = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{
+			LengthSec:         float64(n) * gap,
+			NativeBitrateMbps: 1,
+			Network:           []netsim.TracePoint{{TimeSec: 0, SignalDBm: -90, ThroughputMBps: 2}},
+		}
+		ts := 0.0
+		for i := 0; i < int(n); i++ {
+			tr.Accel = append(tr.Accel, vibration.Sample{
+				TimeSec: ts,
+				X:       rng.NormFloat64() * amp,
+				Y:       rng.NormFloat64() * amp,
+				Z:       vibration.Gravity + rng.NormFloat64()*amp,
+			})
+			ts += gap * (0.1 + 1.8*rng.Float64()) // irregular sampling
+		}
+		c, err := Compile(tr)
+		if err != nil {
+			t.Fatalf("Compile rejected a valid trace: %v", err)
+		}
+		want := tr.VibrationAt(tSec, windowSec)
+		if got := c.VibrationAt(tSec, windowSec); math.Abs(got-want) > vibTolerance {
+			t.Fatalf("Compiled.VibrationAt(%v, %v) = %.15g, reference %.15g (Δ=%g, n=%d amp=%v)",
+				tSec, windowSec, got, want, got-want, n, amp)
+		}
+		// The cursor must agree both on a cold query and after a
+		// monotone approach to the same time.
+		cur := c.Cursor()
+		if got := cur.VibrationAt(tSec, windowSec); math.Abs(got-want) > vibTolerance {
+			t.Fatalf("cold Cursor.VibrationAt(%v, %v) = %.15g, reference %.15g",
+				tSec, windowSec, got, want)
+		}
+		cur = c.Cursor()
+		for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+			cur.VibrationAt(tSec*frac, windowSec)
+		}
+		if got := cur.VibrationAt(tSec, windowSec); math.Abs(got-want) > vibTolerance {
+			t.Fatalf("warm Cursor.VibrationAt(%v, %v) = %.15g, reference %.15g",
+				tSec, windowSec, got, want)
+		}
+	})
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }

@@ -10,12 +10,17 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ecavs/internal/netsim"
 	"ecavs/internal/vibration"
 )
 
 // Trace bundles one viewing session's recorded context.
+//
+// A Trace must not be mutated (or copied by value) once handed to the
+// simulator: the first Compiled call memoizes derived series built
+// from the Network/Accel slices, and every later consumer shares them.
 type Trace struct {
 	// ID is the Table V trace number (1-5) or 0 for ad-hoc traces.
 	ID int
@@ -30,6 +35,46 @@ type Trace struct {
 	Network []netsim.TracePoint
 	// Accel is the accelerometer stream.
 	Accel []vibration.Sample
+
+	// compiled memoizes the trace's compiled form so sessions, sweeps,
+	// and campaign shards all share one compilation per trace.
+	compiled atomic.Pointer[Compiled]
+}
+
+// Compile/hit counters behind CompileStats, exported to telemetry by
+// the campaign runner.
+var (
+	compileCount    atomic.Uint64
+	compileHitCount atomic.Uint64
+)
+
+// Compiled returns the trace's compiled form, building and memoizing
+// it on first use. Concurrent first calls may both compile; exactly
+// one result wins the publication race and all callers observe the
+// same *Compiled afterwards, so sharing stays pointer-equal.
+func (t *Trace) Compiled() (*Compiled, error) {
+	if c := t.compiled.Load(); c != nil {
+		compileHitCount.Add(1)
+		return c, nil
+	}
+	c, err := Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	compileCount.Add(1)
+	if !t.compiled.CompareAndSwap(nil, c) {
+		c = t.compiled.Load()
+	}
+	return c, nil
+}
+
+// CompileStats reports process-wide counts of trace compilations and
+// memoized-cache hits (Compiled calls that reused an earlier
+// compilation). The campaign runner surfaces both as telemetry gauges
+// so amortization is observable: a healthy campaign shows compiles ==
+// number of distinct traces and hits growing with session count.
+func CompileStats() (compiles, hits uint64) {
+	return compileCount.Load(), compileHitCount.Load()
 }
 
 // Validation errors.
@@ -138,6 +183,20 @@ func (t *Trace) Link() (*netsim.TraceLink, error) {
 // VibrationAt returns the Eq. 5 vibration level over the window
 // [tSec-windowSec, tSec] of the accelerometer stream — what the online
 // algorithm's estimator would report at time tSec.
+//
+// Edge cases are pinned (and shared with the compiled fast path and
+// vibration.Estimator):
+//   - windowSec <= 0 falls back to vibration.DefaultWindowSec;
+//   - a window covering fewer than two samples reports 0 — in
+//     particular any query more than windowSec past the last sample
+//     (there is no context to estimate from, and 0 keeps the QoE
+//     impairment term inactive rather than extrapolating);
+//   - queries before the first sample likewise see an empty window and
+//     report 0.
+//
+// This is the REFERENCE implementation: the compiled prefix-sum path
+// (Compiled.VibrationAt) must agree with it within 1e-9, enforced by
+// property and fuzz tests.
 //
 // Accel is validated time-ordered, so the window is a contiguous run
 // of samples: its bounds are binary-searched and the sub-slice handed

@@ -43,31 +43,33 @@ func TestValidate(t *testing.T) {
 		t.Fatalf("valid trace rejected: %v", err)
 	}
 
-	bad := *tr
+	// Traces carry a compiled-form cache and must not be copied by
+	// value, so each broken variant starts from a fresh build.
+	bad := tinyTrace(t)
 	bad.LengthSec = 0
 	if err := bad.Validate(); !errors.Is(err, ErrBadLength) {
 		t.Errorf("err = %v, want ErrBadLength", err)
 	}
 
-	bad = *tr
+	bad = tinyTrace(t)
 	bad.Network = nil
 	if err := bad.Validate(); !errors.Is(err, ErrNoNetwork) {
 		t.Errorf("err = %v, want ErrNoNetwork", err)
 	}
 
-	bad = *tr
+	bad = tinyTrace(t)
 	bad.Accel = nil
 	if err := bad.Validate(); !errors.Is(err, ErrNoAccel) {
 		t.Errorf("err = %v, want ErrNoAccel", err)
 	}
 
-	bad = *tr
+	bad = tinyTrace(t)
 	bad.Network = []netsim.TracePoint{{TimeSec: 5}, {TimeSec: 1}}
 	if err := bad.Validate(); err == nil {
 		t.Error("unordered network accepted")
 	}
 
-	bad = *tr
+	bad = tinyTrace(t)
 	bad.Accel = []vibration.Sample{{TimeSec: 5}, {TimeSec: 1}}
 	if err := bad.Validate(); err == nil {
 		t.Error("unordered accel accepted")

@@ -81,7 +81,11 @@ func NewEstimator(windowSec float64) (*Estimator, error) {
 }
 
 // Push adds a sample. Samples must arrive in non-decreasing time
-// order; older samples that fall out of the window are evicted.
+// order; older samples that fall out of the window are evicted. The
+// window is the closed interval [s.TimeSec - WindowSec, s.TimeSec]: a
+// sample exactly WindowSec old is retained, matching the inclusive
+// [t-w, t] bounds trace.VibrationAt uses, so the streaming estimator
+// and the trace-replay query agree sample-for-sample.
 func (e *Estimator) Push(s Sample) {
 	e.samples = append(e.samples, s)
 	cutoff := s.TimeSec - e.windowSec
@@ -102,7 +106,12 @@ func (e *Estimator) PushAll(samples []Sample) {
 	}
 }
 
-// Level returns Eq. 5 over the current window (0 with <2 samples).
+// Level returns Eq. 5 over the current window. With fewer than two
+// samples in the window — an empty estimator, or a stream whose last
+// sample is more than WindowSec older than everything before it —
+// there is no deviation to measure and Level reports 0, the same
+// pinned edge behavior as trace.VibrationAt for queries past the
+// trace end.
 func (e *Estimator) Level() float64 { return Level(e.samples) }
 
 // Len reports the number of samples currently in the window.

@@ -289,3 +289,119 @@ func TestProfilesOrderedByLevel(t *testing.T) {
 		}
 	}
 }
+
+// Pinned edge-case behavior (ISSUE 6 satellite): Level and the
+// Estimator must report 0 whenever fewer than two samples are in
+// scope, and the estimator's window must be the closed interval
+// [t-w, t] (a sample exactly WindowSec old is retained).
+func TestLevelFewSamplesTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []Sample
+		want    float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []Sample{}, 0},
+		{"single", []Sample{{TimeSec: 0, Z: Gravity + 3}}, 0},
+		{"two equal magnitudes", []Sample{
+			{TimeSec: 0, Z: Gravity},
+			{TimeSec: 1, Z: Gravity},
+		}, 0},
+		{"two distinct magnitudes", []Sample{
+			{TimeSec: 0, Z: 2},
+			{TimeSec: 1, Z: 4},
+		}, 1}, // magnitudes 2 and 4: mean 3, deviations ±1, RMS 1
+	}
+	for _, tc := range cases {
+		if got := Level(tc.samples); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: Level = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEstimatorEdgeCasesTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		window   float64
+		pushes   []Sample
+		wantLen  int
+		wantZero bool
+	}{
+		{"empty estimator", 1, nil, 0, true},
+		{"single sample", 1, []Sample{{TimeSec: 0, Z: 2}}, 1, true},
+		{
+			// The window is inclusive: at t=1 with window 1, the
+			// sample at t=0 is exactly WindowSec old and stays.
+			"boundary sample retained", 1,
+			[]Sample{{TimeSec: 0, Z: 2}, {TimeSec: 1, Z: 4}},
+			2, false,
+		},
+		{
+			// Just past the boundary the old sample is evicted and a
+			// lone survivor reports 0.
+			"boundary sample evicted", 1,
+			[]Sample{{TimeSec: 0, Z: 2}, {TimeSec: 1.001, Z: 4}},
+			1, true,
+		},
+		{
+			// A long silence then one sample: everything before the
+			// gap evicts, level collapses to 0 rather than reporting
+			// stale motion.
+			"gap past window", 2,
+			[]Sample{
+				{TimeSec: 0, Z: 2}, {TimeSec: 0.5, Z: 5}, {TimeSec: 1, Z: 3},
+				{TimeSec: 100, Z: 4},
+			},
+			1, true,
+		},
+		{
+			// Samples at identical timestamps all stay in scope.
+			"duplicate timestamps", 1,
+			[]Sample{{TimeSec: 3, Z: 2}, {TimeSec: 3, Z: 4}, {TimeSec: 3, Z: 6}},
+			3, false,
+		},
+	}
+	for _, tc := range cases {
+		e, err := NewEstimator(tc.window)
+		if err != nil {
+			t.Fatalf("%s: NewEstimator: %v", tc.name, err)
+		}
+		e.PushAll(tc.pushes)
+		if e.Len() != tc.wantLen {
+			t.Errorf("%s: Len = %d, want %d", tc.name, e.Len(), tc.wantLen)
+		}
+		if got := e.Level(); (got == 0) != tc.wantZero {
+			t.Errorf("%s: Level = %v, wantZero = %v", tc.name, got, tc.wantZero)
+		}
+	}
+}
+
+// The streaming estimator and the trace-replay window query must agree
+// when fed the same stream: Push-ing every sample up to time t gives
+// the same window as VibrationAt's [t-w, t] binary search. (The trace
+// side of this contract lives in internal/trace; here we pin the
+// estimator against a manual reconstruction of the inclusive window.)
+func TestEstimatorMatchesManualWindow(t *testing.T) {
+	const w = 2.0
+	e, err := NewEstimator(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []Sample
+	for i := 0; i < 100; i++ {
+		ts := float64(i) * 0.13
+		stream = append(stream, Sample{TimeSec: ts, X: math.Sin(float64(i)), Z: Gravity})
+	}
+	for n, s := range stream {
+		e.Push(s)
+		var win []Sample
+		for _, p := range stream[:n+1] {
+			if p.TimeSec >= s.TimeSec-w {
+				win = append(win, p)
+			}
+		}
+		if got, want := e.Level(), Level(win); got != want {
+			t.Fatalf("at sample %d: estimator %v, manual window %v", n, got, want)
+		}
+	}
+}
