@@ -1,12 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos obs bench bench-diff benchsmoke experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs loadtest bench bench-diff benchsmoke experiments examples cover
 
 all: build vet test
 
-# check is the CI gate: build, vet, tests, the race detector, and the
-# observability suite.
-check: build vet test race obs
+# check is the CI gate: build, vet, tests, the race detector, the
+# observability suite, and a load-generator smoke run.
+check: build vet test race obs loadtest
 
 build:
 	go build ./...
@@ -41,6 +41,13 @@ obs:
 	go test -race -count=1 ./internal/telemetry/
 	go test -race -count=1 -run 'Telemetry|Snapshot|Recorder|DecisionTrace|Live|NDJSON' ./internal/httpdash/ ./internal/sim/ ./internal/campaign/
 	go test -count=1 -run 'TestSessionAllocsTelemetryDisabled' .
+
+# loadtest smokes the serving path end to end: cmd/loadgen stands up an
+# in-process httpdash server, hammers it with closed-loop workers for a
+# couple of seconds, and fails if the JSON report lands under 1 req/s —
+# a floor so low that only a wedged serving path can miss it.
+loadtest:
+	go run ./cmd/loadgen -workers 4 -duration 2s -min-rps 1 -json
 
 # bench runs the full suite with -benchmem and records a dated JSON
 # snapshot (name, ns/op, allocs/op, B/op) for regression tracking.

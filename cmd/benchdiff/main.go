@@ -21,7 +21,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,15 +28,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ecavs/internal/benchfmt"
 )
 
-// Result is one benchmark's snapshot entry.
-type Result struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	AllocsOp float64 `json:"allocs_per_op"`
-	BytesOp  float64 `json:"bytes_per_op"`
-}
+// Result is one benchmark's snapshot entry — the shared interchange
+// schema in internal/benchfmt, which cmd/loadgen also emits.
+type Result = benchfmt.Result
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -78,13 +75,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if len(results) == 0 {
 			return fmt.Errorf("no benchmark lines found")
 		}
-		data, err := json.MarshalIndent(results, "", "  ")
+		if *out != "" {
+			return benchfmt.WriteFile(*out, results)
+		}
+		data, err := benchfmt.Marshal(results)
 		if err != nil {
 			return err
-		}
-		data = append(data, '\n')
-		if *out != "" {
-			return os.WriteFile(*out, data, 0o644)
 		}
 		_, err = stdout.Write(data)
 		return err
@@ -207,19 +203,11 @@ func trimProcSuffix(name string) string {
 }
 
 func loadSnapshot(path string) (map[string]Result, error) {
-	data, err := os.ReadFile(path)
+	list, err := benchfmt.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var list []Result
-	if err := json.Unmarshal(data, &list); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	m := make(map[string]Result, len(list))
-	for _, r := range list {
-		m[r.Name] = r
-	}
-	return m, nil
+	return benchfmt.Map(list), nil
 }
 
 // compare prints a per-benchmark delta table — including benchmarks

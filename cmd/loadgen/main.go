@@ -1,0 +1,409 @@
+// Command loadgen is a concurrent closed-loop load generator for the
+// httpdash serving path: N workers each fetch segments back-to-back
+// (the next request starts when the previous one finishes) against a
+// target server for a fixed duration, cycling through a configurable
+// rung mix, and report requests/sec, bytes/sec, and p50/p95/p99
+// latency from streaming P² estimators.
+//
+// With no -url it stands up an in-process httpdash server on loopback
+// — optionally rate-shaped (-rate) and fault-injected (-fault-*) — so
+// a single command measures the full serving path:
+//
+//	loadgen -workers 16 -duration 10s -rungs 0,3,5 -json
+//
+// The JSON report is the machine-readable record; -bench-out
+// additionally writes the latency percentiles as a benchfmt snapshot,
+// so two load-test runs can be diffed with cmd/benchdiff exactly like
+// micro-benchmark snapshots:
+//
+//	loadgen -duration 10s -bench-out load_old.json
+//	loadgen -duration 10s -bench-out load_new.json   # after a change
+//	benchdiff -old load_old.json -new load_new.json -metric ns
+//
+// -min-rps makes the process exit non-zero when throughput lands under
+// the bar, which is what `make loadtest` gates CI on; -metrics-addr
+// serves live telemetry (Prometheus text + JSON + pprof) during the
+// run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ecavs/internal/benchfmt"
+	"ecavs/internal/dash"
+	"ecavs/internal/faults"
+	"ecavs/internal/httpdash"
+	"ecavs/internal/stats"
+	"ecavs/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable result of one run.
+type report struct {
+	URL            string  `json:"url"`
+	Workers        int     `json:"workers"`
+	RungMix        []int   `json:"rung_mix"`
+	DurationSec    float64 `json:"duration_sec"`
+	WallSec        float64 `json:"wall_sec"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	Bytes          int64   `json:"bytes"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	BytesPerSec    float64 `json:"bytes_per_sec"`
+	LatencyMeanMs  float64 `json:"latency_mean_ms"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP95Ms   float64 `json:"latency_p95_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	LatencyMaxMs   float64 `json:"latency_max_ms"`
+}
+
+// collector aggregates worker observations. Workers hold the mutex
+// only for the few counter updates per request; the requests
+// themselves — the expensive part of a closed loop — run outside it.
+type collector struct {
+	mu       sync.Mutex
+	requests int64
+	errors   int64
+	bytes    int64
+	lat      stats.Accumulator // seconds
+	p50      *stats.P2
+	p95      *stats.P2
+	p99      *stats.P2
+
+	// Optional telemetry mirrors (nil metrics are no-ops).
+	telRequests, telErrors, telBytes *telemetry.Counter
+}
+
+func newCollector() *collector {
+	return &collector{p50: stats.NewP2(0.50), p95: stats.NewP2(0.95), p99: stats.NewP2(0.99)}
+}
+
+func (c *collector) ok(latency time.Duration, n int64) {
+	sec := latency.Seconds()
+	c.mu.Lock()
+	c.requests++
+	c.bytes += n
+	c.lat.Add(sec)
+	c.p50.Add(sec)
+	c.p95.Add(sec)
+	c.p99.Add(sec)
+	c.mu.Unlock()
+	c.telRequests.Inc()
+	c.telBytes.Add(n)
+}
+
+func (c *collector) fail() {
+	c.mu.Lock()
+	c.errors++
+	c.mu.Unlock()
+	c.telErrors.Inc()
+}
+
+func (c *collector) report(url string, workers int, mix []int, configured, wall time.Duration) report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := report{
+		URL:           url,
+		Workers:       workers,
+		RungMix:       mix,
+		DurationSec:   configured.Seconds(),
+		WallSec:       wall.Seconds(),
+		Requests:      c.requests,
+		Errors:        c.errors,
+		Bytes:         c.bytes,
+		LatencyMeanMs: c.lat.Mean() * 1e3,
+		LatencyP50Ms:  c.p50.Value() * 1e3,
+		LatencyP95Ms:  c.p95.Value() * 1e3,
+		LatencyP99Ms:  c.p99.Value() * 1e3,
+		LatencyMaxMs:  c.lat.Max() * 1e3,
+	}
+	if rep.WallSec > 0 {
+		rep.RequestsPerSec = float64(c.requests) / rep.WallSec
+		rep.BytesPerSec = float64(c.bytes) / rep.WallSec
+	}
+	return rep
+}
+
+// parseRungs resolves the -rungs selection against the ladder height:
+// "all" is every rung, otherwise a comma-separated list of ladder
+// indices cycled per request (repeats weight the mix).
+func parseRungs(sel string, rungs int) ([]int, error) {
+	if sel == "" || sel == "all" {
+		mix := make([]int, rungs)
+		for i := range mix {
+			mix[i] = i
+		}
+		return mix, nil
+	}
+	var mix []int
+	for _, tok := range strings.Split(sel, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		r, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad rung %q", tok)
+		}
+		if r < 0 || r >= rungs {
+			return nil, fmt.Errorf("rung %d outside ladder [0, %d)", r, rungs)
+		}
+		mix = append(mix, r)
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("-rungs selects no rungs")
+	}
+	return mix, nil
+}
+
+// faultPlan assembles the optional fault plan from the -fault-* flags;
+// nil when every probability is zero.
+func faultPlan(p5xx, reset, stall, trunc, lat float64, stallFor, latFor time.Duration, maxPerKey int, seed int64) (*faults.Plan, error) {
+	if p5xx == 0 && reset == 0 && stall == 0 && trunc == 0 && lat == 0 {
+		return nil, nil
+	}
+	return faults.NewPlan(faults.Config{
+		Error5xxProb:    p5xx,
+		ResetProb:       reset,
+		StallProb:       stall,
+		TruncateProb:    trunc,
+		LatencyProb:     lat,
+		StallFor:        stallFor,
+		LatencyFor:      latFor,
+		MaxFaultsPerKey: maxPerKey,
+	}, seed)
+}
+
+// fetchInfo GETs and parses the target's manifest, which tells the
+// workers the representation IDs and segment count to cycle over.
+func fetchInfo(hc *http.Client, base string) (dash.MPDInfo, error) {
+	resp, err := hc.Get(base + "/manifest.mpd")
+	if err != nil {
+		return dash.MPDInfo{}, fmt.Errorf("fetch manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dash.MPDInfo{}, fmt.Errorf("manifest: %s", resp.Status)
+	}
+	mpd, err := dash.ParseMPD(resp.Body)
+	if err != nil {
+		return dash.MPDInfo{}, err
+	}
+	return dash.InfoFromMPD(mpd)
+}
+
+// worker is one closed loop: fetch, record, repeat until the run
+// context expires. Workers start at staggered segment/mix offsets so
+// concurrent loops spread across the presentation instead of convoying
+// on one URL.
+func worker(ctx context.Context, id int, hc *http.Client, base string, info dash.MPDInfo, mix []int, coll *collector) {
+	seg := id % info.SegmentCount
+	mi := id % len(mix)
+	for ctx.Err() == nil {
+		rung := mix[mi]
+		mi = (mi + 1) % len(mix)
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], seg)
+		seg = (seg + 1) % info.SegmentCount
+
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			coll.fail()
+			continue
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // run over; the aborted in-flight request is not an error
+			}
+			coll.fail()
+			continue
+		}
+		n, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case cerr != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			coll.fail()
+		case resp.StatusCode != http.StatusOK:
+			coll.fail()
+		default:
+			coll.ok(time.Since(start), n)
+		}
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target base URL serving /manifest.mpd (default: in-process server)")
+	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	rungsSel := fs.String("rungs", "all", "rung mix: \"all\" or comma-separated ladder indices (repeats weight the mix)")
+	videoSec := fs.Float64("video-sec", 60, "in-process presentation length in seconds")
+	rate := fs.Float64("rate", 0, "in-process server shaping in MB/s, shared across connections (0 = unshaped)")
+	f5xx := fs.Float64("fault-5xx", 0, "in-process server 5xx probability")
+	fReset := fs.Float64("fault-reset", 0, "in-process server connection-reset probability")
+	fStall := fs.Float64("fault-stall", 0, "in-process server stall probability")
+	fTrunc := fs.Float64("fault-truncate", 0, "in-process server truncated-body probability")
+	fLat := fs.Float64("fault-latency", 0, "in-process server added-latency probability")
+	fStallFor := fs.Duration("fault-stall-for", 2*time.Second, "stall length")
+	fLatFor := fs.Duration("fault-latency-for", 200*time.Millisecond, "added latency")
+	fMax := fs.Int("fault-max-per-key", 0, "faults per URL before the plan relents (0 = never)")
+	fSeed := fs.Int64("fault-seed", 1, "fault plan seed")
+	jsonOut := fs.Bool("json", false, "write the report as JSON to stdout")
+	benchOut := fs.String("bench-out", "", "also write latency percentiles as a benchfmt snapshot to this file")
+	minRPS := fs.Float64("min-rps", 0, "exit non-zero when requests/sec lands below this")
+	metricsAddr := fs.String("metrics-addr", "", "serve live telemetry (Prometheus/JSON/pprof) on this address during the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 1 {
+		return errors.New("-workers must be at least 1")
+	}
+	if *duration <= 0 {
+		return errors.New("-duration must be positive")
+	}
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+
+	base := *url
+	if base == "" {
+		plan, err := faultPlan(*f5xx, *fReset, *fStall, *fTrunc, *fLat, *fStallFor, *fLatFor, *fMax, *fSeed)
+		if err != nil {
+			return err
+		}
+		video := dash.Video{Title: "loadgen", SpatialInfo: 45, TemporalInfo: 15, DurationSec: *videoSec}
+		m, err := dash.NewManifest(video, dash.TableIILadder(), dash.ManifestConfig{SegmentSec: 2, VBRJitter: 0, Seed: 1})
+		if err != nil {
+			return err
+		}
+		opts := []httpdash.ServerOption{httpdash.WithRateLimitMBps(*rate)}
+		if plan != nil {
+			opts = append(opts, httpdash.WithFaults(plan))
+		}
+		if reg != nil {
+			opts = append(opts, httpdash.WithServerTelemetry(reg))
+		}
+		srv, err := httpdash.NewServer(m, opts...)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second, Transport: httpdash.NewTransport()}
+	defer hc.CloseIdleConnections()
+	info, err := fetchInfo(hc, base)
+	if err != nil {
+		return err
+	}
+	mix, err := parseRungs(*rungsSel, len(info.Ladder))
+	if err != nil {
+		return err
+	}
+
+	coll := newCollector()
+	start := time.Now()
+	if reg != nil {
+		coll.telRequests = reg.Counter("loadgen_requests_total", "Segment requests completed successfully.")
+		coll.telErrors = reg.Counter("loadgen_errors_total", "Segment requests that failed.")
+		coll.telBytes = reg.Counter("loadgen_bytes_total", "Segment payload bytes received.")
+		reg.GaugeFunc("loadgen_requests_per_sec", "Running mean request rate.", func() float64 {
+			coll.mu.Lock()
+			n := coll.requests
+			coll.mu.Unlock()
+			return float64(n) / time.Since(start).Seconds()
+		})
+		msrv, addr, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: telemetry on http://%s/metrics\n", addr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(ctx, id, hc, base, info, mix, coll)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := coll.report(base, *workers, mix, *duration, wall)
+	if *benchOut != "" {
+		snap := []benchfmt.Result{
+			{Name: "Loadgen/request_mean", NsPerOp: rep.LatencyMeanMs * 1e6},
+			{Name: "Loadgen/latency_p50", NsPerOp: rep.LatencyP50Ms * 1e6},
+			{Name: "Loadgen/latency_p95", NsPerOp: rep.LatencyP95Ms * 1e6},
+			{Name: "Loadgen/latency_p99", NsPerOp: rep.LatencyP99Ms * 1e6},
+		}
+		if err := benchfmt.WriteFile(*benchOut, snap); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		writeHuman(stdout, rep)
+	}
+	if *minRPS > 0 && rep.RequestsPerSec < *minRPS {
+		return fmt.Errorf("requests/sec %.1f below -min-rps %.1f", rep.RequestsPerSec, *minRPS)
+	}
+	return nil
+}
+
+// writeHuman renders the report as a compact table.
+func writeHuman(w io.Writer, rep report) {
+	mix := make([]string, len(rep.RungMix))
+	for i, r := range rep.RungMix {
+		mix[i] = strconv.Itoa(r)
+	}
+	fmt.Fprintf(w, "loadgen %s\n", rep.URL)
+	fmt.Fprintf(w, "  workers %d  duration %.1fs (wall %.2fs)  rung mix [%s]\n",
+		rep.Workers, rep.DurationSec, rep.WallSec, strings.Join(mix, " "))
+	fmt.Fprintf(w, "  requests %d (%d errors)  %.1f req/s  %.2f MB/s\n",
+		rep.Requests, rep.Errors, rep.RequestsPerSec, rep.BytesPerSec/1e6)
+	fmt.Fprintf(w, "  latency ms  mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		rep.LatencyMeanMs, rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecavs/internal/benchfmt"
+)
+
+func TestParseRungs(t *testing.T) {
+	cases := []struct {
+		sel   string
+		rungs int
+		want  []int
+		err   bool
+	}{
+		{"all", 3, []int{0, 1, 2}, false},
+		{"", 2, []int{0, 1}, false},
+		{"0,2", 3, []int{0, 2}, false},
+		{"5,5,0", 6, []int{5, 5, 0}, false},
+		{" 1 , 2 ", 3, []int{1, 2}, false},
+		{"3", 3, nil, true},  // out of range
+		{"-1", 3, nil, true}, // negative
+		{"x", 3, nil, true},  // not a number
+		{",", 3, nil, true},  // empty selection
+	}
+	for _, c := range cases {
+		got, err := parseRungs(c.sel, c.rungs)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseRungs(%q, %d): want error, got %v", c.sel, c.rungs, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRungs(%q, %d): %v", c.sel, c.rungs, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseRungs(%q, %d) = %v, want %v", c.sel, c.rungs, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseRungs(%q, %d) = %v, want %v", c.sel, c.rungs, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFaultPlanNilWhenAllZero(t *testing.T) {
+	plan, err := faultPlan(0, 0, 0, 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		t.Error("all-zero probabilities produced a non-nil plan")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-duration", "0s"},
+		{"-duration", "200ms", "-rungs", "99"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+// TestRunSmoke drives the whole thing: in-process server, closed-loop
+// workers, JSON report, and a benchfmt snapshot — the same path `make
+// loadtest` exercises in CI.
+func TestRunSmoke(t *testing.T) {
+	benchOut := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workers", "4",
+		"-duration", "300ms",
+		"-rungs", "0,2",
+		"-video-sec", "20",
+		"-json",
+		"-bench-out", benchOut,
+		"-min-rps", "1",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("clean server produced %d errors", rep.Errors)
+	}
+	if rep.Bytes == 0 || rep.BytesPerSec == 0 || rep.RequestsPerSec == 0 {
+		t.Errorf("zero throughput in report: %+v", rep)
+	}
+	if rep.Workers != 4 || len(rep.RungMix) != 2 {
+		t.Errorf("config echo wrong: workers=%d mix=%v", rep.Workers, rep.RungMix)
+	}
+	if rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Errorf("implausible percentiles: p50=%.3f p99=%.3f", rep.LatencyP50Ms, rep.LatencyP99Ms)
+	}
+	if rep.LatencyMaxMs < rep.LatencyP50Ms {
+		t.Errorf("max %.3f below p50 %.3f", rep.LatencyMaxMs, rep.LatencyP50Ms)
+	}
+	if !strings.HasPrefix(rep.URL, "http://127.0.0.1:") {
+		t.Errorf("expected in-process loopback URL, got %q", rep.URL)
+	}
+
+	snap, err := benchfmt.ReadFile(benchOut)
+	if err != nil {
+		t.Fatalf("bench-out: %v", err)
+	}
+	if len(snap) != 4 {
+		t.Fatalf("bench-out has %d entries, want 4", len(snap))
+	}
+	m := benchfmt.Map(snap)
+	for _, name := range []string{"Loadgen/request_mean", "Loadgen/latency_p50", "Loadgen/latency_p95", "Loadgen/latency_p99"} {
+		if m[name].NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v, want > 0", name, m[name].NsPerOp)
+		}
+	}
+}
+
+// Injected 5xx responses are counted as errors, and the loop keeps
+// going — errors must not wedge a closed-loop worker.
+func TestRunCountsFaultErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workers", "2",
+		"-duration", "300ms",
+		"-json",
+		"-fault-5xx", "0.5",
+		"-fault-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Error("50% 5xx produced zero errors")
+	}
+	if rep.Requests == 0 {
+		t.Error("faulty run completed zero requests")
+	}
+}
+
+func TestRunMinRPSGate(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workers", "1",
+		"-duration", "200ms",
+		"-min-rps", "1e12",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "below -min-rps") {
+		t.Fatalf("want min-rps gate failure, got %v", err)
+	}
+}
+
+func TestHumanOutput(t *testing.T) {
+	var buf bytes.Buffer
+	writeHuman(&buf, report{
+		URL: "http://x", Workers: 2, RungMix: []int{0, 1},
+		DurationSec: 1, WallSec: 1.01,
+		Requests: 100, Errors: 1, RequestsPerSec: 99, BytesPerSec: 2.5e6,
+		LatencyMeanMs: 1.5, LatencyP50Ms: 1.2, LatencyP95Ms: 3, LatencyP99Ms: 4, LatencyMaxMs: 5,
+	})
+	out := buf.String()
+	for _, want := range []string{"http://x", "workers 2", "rung mix [0 1]", "99.0 req/s", "2.50 MB/s", "p99 4.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package benchfmt is the benchmark-snapshot interchange format the
+// perf tooling shares: cmd/benchdiff parses `go test -bench` output
+// into it and gates regressions over it, and cmd/loadgen emits its
+// closed-loop latency percentiles in the same shape — so a load-test
+// run can be diffed against a previous one with the exact tooling that
+// gates the micro-benchmarks.
+//
+// A snapshot is a JSON array of Result, sorted by name, written with a
+// trailing newline (the BENCH_<date>.json files in the repo root).
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+}
+
+// Marshal renders a snapshot: results sorted by name, indented JSON,
+// trailing newline.
+func Marshal(results []Result) ([]byte, error) {
+	sorted := make([]Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes a snapshot to path.
+func WriteFile(path string, results []Result) error {
+	data, err := Marshal(results)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return list, nil
+}
+
+// Map indexes a snapshot by benchmark name.
+func Map(results []Result) map[string]Result {
+	m := make(map[string]Result, len(results))
+	for _, r := range results {
+		m[r.Name] = r
+	}
+	return m
+}

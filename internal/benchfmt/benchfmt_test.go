@@ -1,0 +1,60 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkZ", NsPerOp: 100, AllocsOp: 2, BytesOp: 32},
+		{Name: "BenchmarkA", NsPerOp: 5.5},
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteFile(path, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d results, want 2", len(got))
+	}
+	// Snapshots are written sorted by name.
+	if got[0].Name != "BenchmarkA" || got[1].Name != "BenchmarkZ" {
+		t.Errorf("order = %q, %q; want BenchmarkA, BenchmarkZ", got[0].Name, got[1].Name)
+	}
+	if got[1].NsPerOp != 100 || got[1].AllocsOp != 2 || got[1].BytesOp != 32 {
+		t.Errorf("BenchmarkZ = %+v", got[1])
+	}
+	m := Map(got)
+	if m["BenchmarkA"].NsPerOp != 5.5 {
+		t.Errorf("Map lookup = %+v", m["BenchmarkA"])
+	}
+}
+
+func TestMarshalTrailingNewline(t *testing.T) {
+	data, err := Marshal([]Result{{Name: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("snapshot missing trailing newline")
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file read without error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("malformed snapshot read without error")
+	}
+}

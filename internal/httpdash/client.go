@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"ecavs/internal/abr"
@@ -78,6 +79,21 @@ func (p RetryPolicy) validate() error {
 	return nil
 }
 
+// NewTransport returns an http.Transport tuned for this package's
+// traffic shape: many small GETs against one host. It is the stock
+// transport with the per-host idle pool widened (the default keeps
+// only two idle connections per host, so concurrent prefetches and
+// load-generator workers would re-dial instead of reusing keep-alive
+// connections) and no global idle cap. Both the streaming client and
+// cmd/loadgen dial through it by default.
+func NewTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 0 // unlimited; the per-host cap below governs
+	t.MaxIdleConnsPerHost = 64
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
+
 // Client streams a DASH presentation over real HTTP, driving an
 // abr.Algorithm with measured per-segment throughputs. Playback is
 // virtual: wall-clock time is only spent downloading, and buffered
@@ -93,7 +109,8 @@ type Client struct {
 	algorithm  abr.Algorithm
 	threshold  float64
 	retry      RetryPolicy
-	jitter     uint64 // splitmix64 state for backoff jitter
+	fetchAhead int           // 0 = strictly serial fetch loop
+	jitter     atomic.Uint64 // splitmix64 state for backoff jitter
 	tel        clientTelemetry
 }
 
@@ -128,6 +145,25 @@ func WithBufferThreshold(sec float64) ClientOption {
 	return func(c *Client) {
 		if sec > 0 {
 			c.threshold = sec
+		}
+	}
+}
+
+// WithFetchAhead enables the bounded prefetch pipeline: while segment
+// k is being played, up to n further segments (k+1 … k+n) download
+// concurrently, so per-request latency and server think-time hide
+// behind playout instead of serialising in front of it. Results are
+// consumed strictly in segment order and every segment is fetched by
+// exactly one pipeline slot, sharing the retry budget and the Stats
+// accounting with the serial path. A prefetched segment's rung is
+// decided at issue time — from the throughput observed so far and the
+// buffer the in-flight segments will have produced — which is the
+// information a real look-ahead player has. Zero (the default) keeps
+// the strictly serial fetch loop.
+func WithFetchAhead(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.fetchAhead = n
 		}
 	}
 }
@@ -185,7 +221,7 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 	}
 	c := &Client{
 		baseURL:    baseURL,
-		httpClient: &http.Client{Timeout: 30 * time.Second},
+		httpClient: &http.Client{Timeout: 30 * time.Second, Transport: NewTransport()},
 		algorithm:  alg,
 		threshold:  player.DefaultBufferThresholdSec,
 		retry:      RetryPolicy{MaxAttempts: 1},
@@ -196,7 +232,7 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 	if err := c.retry.validate(); err != nil {
 		return nil, err
 	}
-	c.jitter = uint64(c.retry.JitterSeed)
+	c.jitter.Store(uint64(c.retry.JitterSeed))
 	return c, nil
 }
 
@@ -247,9 +283,45 @@ type Stats struct {
 	Timeouts int
 	// Truncations counts attempts rejected for a short body.
 	Truncations int
-	// AbandonedSegments counts segments whose retry budget ran out
-	// (the session ends at the first one, so this is 0 or 1).
+	// AbandonedSegments counts segments whose retry budget ran out.
+	// The session ends at the first abandonment, so this is 0 or 1 in
+	// serial mode; with prefetch enabled, segments in flight alongside
+	// the fatal one can each abandon before the pipeline is torn down.
 	AbandonedSegments int
+}
+
+// fetchCounters is one fetch's slice of the session resilience
+// counters. Each fetch — serial or prefetched — accumulates privately
+// and is folded into Stats exactly once, in consumption order, so
+// concurrent prefetches never race on the session totals and never
+// double-count.
+type fetchCounters struct {
+	retries     int
+	downgrades  int
+	timeouts    int
+	truncations int
+	abandoned   int
+}
+
+// merge folds one fetch's counters into the session totals.
+func (s *Stats) merge(fc fetchCounters) {
+	s.Retries += fc.retries
+	s.Downgrades += fc.downgrades
+	s.Timeouts += fc.timeouts
+	s.Truncations += fc.truncations
+	s.AbandonedSegments += fc.abandoned
+}
+
+// segmentSizesMB estimates per-rung segment sizes from the ladder (an
+// MPD carries nominal bitrates, not exact sizes) — enough for
+// size-aware policies like the paper's online algorithm to run over
+// real HTTP.
+func segmentSizesMB(info manifestInfo) []float64 {
+	sizes := make([]float64, len(info.Ladder))
+	for j, r := range info.Ladder {
+		sizes[j] = r.BitrateMbps * info.SegmentSec / 8
+	}
+	return sizes
 }
 
 // Stream downloads the whole presentation. The context cancels the
@@ -264,19 +336,21 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	c.algorithm.Reset()
+	if c.fetchAhead > 0 {
+		return c.streamPipelined(ctx, info)
+	}
+	return c.streamSerial(ctx, info)
+}
 
+// streamSerial is the strictly ordered fetch loop: decide, download,
+// observe, play — one segment at a time. It is the reference semantics
+// the prefetch pipeline must preserve.
+func (c *Client) streamSerial(ctx context.Context, info manifestInfo) (*Stats, error) {
 	stats := &Stats{}
 	bufferSec := 0.0
 	prevRung := -1
 	var weighted, brSum float64
-
-	// Per-rung segment sizes estimated from the ladder (an MPD carries
-	// nominal bitrates, not exact sizes) — enough for size-aware
-	// policies like the paper's online algorithm to run over real HTTP.
-	sizesMB := make([]float64, len(info.Ladder))
-	for j, r := range info.Ladder {
-		sizesMB[j] = r.BitrateMbps * info.SegmentSec / 8
-	}
+	sizesMB := segmentSizesMB(info)
 
 	for seg := 0; seg < info.SegmentCount; seg++ {
 		if err := ctx.Err(); err != nil {
@@ -305,7 +379,9 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 			return stats, fmt.Errorf("httpdash: segment %d: rung %d out of range", seg, chosen)
 		}
 
-		rung, bytes, wall, attempts, err := c.fetchWithRetry(ctx, stats, info, seg, chosen)
+		var fc fetchCounters
+		rung, bytes, wall, attempts, err := c.fetchWithRetry(ctx, &fc, info, seg, chosen)
+		stats.merge(fc)
 		if err != nil {
 			return stats, fmt.Errorf("httpdash: segment %d: %w", seg, err)
 		}
@@ -345,13 +421,170 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 		}
 		prevRung = rung
 	}
+	finishStats(stats, weighted, brSum)
+	return stats, nil
+}
+
+// streamPipelined is the bounded prefetch loop: up to fetchAhead+1
+// segments are in flight at once (the play-head segment plus the
+// prefetch window), issued strictly in segment order from this
+// goroutine and consumed strictly in segment order, so the algorithm —
+// which is not safe for concurrent use — only ever runs here.
+// Downloads overlap each other and the (virtual) playout; buffer drain
+// is therefore measured against real elapsed wall-clock between
+// consecutive consumptions rather than against each download's
+// private wall time, which is what makes prefetch visibly reduce
+// stalls.
+func (c *Client) streamPipelined(ctx context.Context, info manifestInfo) (*Stats, error) {
+	stats := &Stats{}
+	sizesMB := segmentSizesMB(info)
+
+	// Fetches run under a child context so tearing the pipeline down
+	// (error, cancellation) aborts every in-flight request promptly.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		rung, attempts int
+		bytes          int64
+		wall           time.Duration
+		err            error
+		counters       fetchCounters
+	}
+	type inflight struct {
+		seg, chosen int
+		ch          chan result
+	}
+
+	depth := c.fetchAhead + 1
+	pending := make(chan inflight, depth)
+
+	// drain aborts and collects every outstanding fetch, folding its
+	// counters in: retry work already performed stays counted exactly
+	// once even when the session dies mid-pipeline.
+	drain := func() {
+		cancel()
+		for {
+			select {
+			case f := <-pending:
+				res := <-f.ch
+				stats.merge(res.counters)
+			default:
+				return
+			}
+		}
+	}
+
+	bufferSec := 0.0
+	prevRung := -1   // last consumed rung (switch accounting)
+	prevIssued := -1 // last issued rung (decision context)
+	var weighted, brSum float64
+	next := 0
+	lastConsume := time.Now()
+
+	for played := 0; played < info.SegmentCount; played++ {
+		for len(pending) < depth && next < info.SegmentCount {
+			if err := ctx.Err(); err != nil {
+				drain()
+				return stats, fmt.Errorf("httpdash: cancelled at segment %d: %w", next, err)
+			}
+			// Decide with the buffer the in-flight segments will have
+			// produced by the time this one is needed, clamped the same
+			// way the serial loop clamps before each fetch.
+			projected := bufferSec + float64(len(pending))*info.SegmentSec
+			if projected >= c.threshold {
+				projected = c.threshold - info.SegmentSec
+			}
+			decision := abr.Context{
+				SegmentIndex:       next,
+				Ladder:             info.Ladder,
+				SegmentSizesMB:     sizesMB,
+				SegmentDurationSec: info.SegmentSec,
+				PrevRung:           prevIssued,
+				BufferSec:          projected,
+				BufferThresholdSec: c.threshold,
+			}
+			chosen, err := c.algorithm.ChooseRung(decision)
+			if err != nil {
+				drain()
+				return stats, fmt.Errorf("httpdash: segment %d decision: %w", next, err)
+			}
+			if chosen < 0 || chosen >= len(info.Ladder) {
+				drain()
+				return stats, fmt.Errorf("httpdash: segment %d: rung %d out of range", next, chosen)
+			}
+			f := inflight{seg: next, chosen: chosen, ch: make(chan result, 1)}
+			go func() {
+				var fc fetchCounters
+				rung, bytes, wall, attempts, err := c.fetchWithRetry(fctx, &fc, info, f.seg, f.chosen)
+				f.ch <- result{rung: rung, attempts: attempts, bytes: bytes, wall: wall, err: err, counters: fc}
+			}()
+			pending <- f
+			prevIssued = chosen
+			next++
+		}
+
+		f := <-pending
+		res := <-f.ch
+		stats.merge(res.counters)
+		if res.err != nil {
+			drain()
+			return stats, fmt.Errorf("httpdash: segment %d: %w", f.seg, res.err)
+		}
+		thMbps := float64(res.bytes) * 8 / 1e6 / res.wall.Seconds()
+		c.algorithm.ObserveDownload(thMbps)
+
+		// Virtual playback against real elapsed time: whatever part of
+		// this download the pipeline hid behind earlier segments does
+		// not drain the buffer.
+		if bufferSec >= c.threshold {
+			bufferSec = c.threshold - info.SegmentSec
+		}
+		now := time.Now()
+		drained := now.Sub(lastConsume).Seconds()
+		lastConsume = now
+		if drained > bufferSec {
+			stats.StallSec += drained - bufferSec
+			c.tel.stallSec.Add(drained - bufferSec)
+			bufferSec = 0
+		} else {
+			bufferSec -= drained
+		}
+		bufferSec += info.SegmentSec
+
+		br := info.Ladder[res.rung].BitrateMbps
+		stats.Fetches = append(stats.Fetches, Fetch{
+			Segment:        f.seg,
+			Rung:           res.rung,
+			ChosenRung:     f.chosen,
+			Attempts:       res.attempts,
+			BitrateMbps:    br,
+			Bytes:          res.bytes,
+			WallTime:       res.wall,
+			ThroughputMbps: thMbps,
+		})
+		stats.TotalBytes += res.bytes
+		c.tel.segments.Inc()
+		c.tel.bytes.Add(res.bytes)
+		weighted += thMbps * float64(res.bytes)
+		brSum += br
+		if prevRung >= 0 && res.rung != prevRung {
+			stats.Switches++
+		}
+		prevRung = res.rung
+	}
+	finishStats(stats, weighted, brSum)
+	return stats, nil
+}
+
+// finishStats fills the session means once the fetch loop is done.
+func finishStats(stats *Stats, weighted, brSum float64) {
 	if stats.TotalBytes > 0 {
 		stats.MeanThroughputMbps = weighted / float64(stats.TotalBytes)
 	}
 	if n := len(stats.Fetches); n > 0 {
 		stats.MeanBitrateMbps = brSum / float64(n)
 	}
-	return stats, nil
 }
 
 // fetchWithRetry downloads segment seg, starting at the algorithm's
@@ -359,18 +592,20 @@ func (c *Client) Stream(ctx context.Context) (*Stats, error) {
 // exponential backoff with deterministic jitter, and (optionally) one
 // rung downgrade per retry until the ladder floor. It returns the rung
 // actually fetched and the attempt count; when the budget runs out the
-// error wraps ErrSegmentAbandoned.
-func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifestInfo, seg, chosen int) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
+// error wraps ErrSegmentAbandoned. Resilience events accumulate into
+// fc (private to this fetch — the caller folds them into Stats), while
+// telemetry counters, which are atomic, are incremented live.
+func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info manifestInfo, seg, chosen int) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
 	rung = chosen
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		attempts = attempt + 1
 		if attempt > 0 {
-			stats.Retries++
+			fc.retries++
 			c.tel.retries.Inc()
 			if c.retry.DowngradeOnRetry && rung > 0 {
 				rung--
-				stats.Downgrades++
+				fc.downgrades++
 				c.tel.downgrades.Inc()
 			}
 			if err := c.backoff(ctx, attempt); err != nil {
@@ -398,10 +633,10 @@ func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifest
 		}
 		switch {
 		case deadlineHit:
-			stats.Timeouts++
+			fc.timeouts++
 			c.tel.timeouts.Inc()
 		case errors.Is(ferr, ErrTruncated):
-			stats.Truncations++
+			fc.truncations++
 			c.tel.truncated.Inc()
 		default:
 			var se *statusError
@@ -411,7 +646,7 @@ func (c *Client) fetchWithRetry(ctx context.Context, stats *Stats, info manifest
 		}
 		lastErr = ferr
 	}
-	stats.AbandonedSegments++
+	fc.abandoned++
 	c.tel.abandoned.Inc()
 	return rung, 0, 0, attempts, fmt.Errorf("%w (rung %d after %d attempts): %w",
 		ErrSegmentAbandoned, rung, attempts, lastErr)
@@ -431,9 +666,9 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 		d = c.retry.BackoffMax
 	}
 	// Equal jitter from a private splitmix64 stream: deterministic for a
-	// fixed JitterSeed, in [d/2, d).
-	c.jitter += 0x9e3779b97f4a7c15
-	z := c.jitter
+	// fixed JitterSeed, in [d/2, d). The state advances atomically so
+	// concurrent prefetches each take a distinct draw from the stream.
+	z := c.jitter.Add(0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	u := float64((z^(z>>31))>>11) / (1 << 53)

@@ -2,15 +2,17 @@
 // http.Handler that serves an MPD manifest and synthetic media
 // segments (with optional token-bucket rate shaping and fault
 // injection), and a streaming client that fetches segments over HTTP,
-// measures throughput, retries failures with bounded backoff, and
-// drives any abr.Algorithm — the same interface the simulator drives.
-// It is the integration layer that shows the library working over an
-// actual TCP/HTTP stack rather than the discrete-event simulator.
+// measures throughput, retries failures with bounded backoff,
+// optionally prefetches ahead of the play head, and drives any
+// abr.Algorithm — the same interface the simulator drives. It is the
+// integration layer that shows the library working over an actual
+// TCP/HTTP stack rather than the discrete-event simulator.
 package httpdash
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,6 +25,24 @@ import (
 	"ecavs/internal/telemetry"
 )
 
+// chunkSize is the body-write granularity: pacing, byte accounting,
+// and client-disconnect checks all happen on 64 KiB boundaries.
+const chunkSize = 64 << 10
+
+// chunkPool recycles pre-filled payload chunks across requests. The
+// synthetic payload is position-deterministic, so a recycled chunk is
+// byte-identical to a fresh one and the serving path never fills (or
+// even touches) the buffer contents — it only slices and writes.
+var chunkPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, chunkSize)
+		for i := range buf {
+			buf[i] = byte('0' + (i % 10)) // synthetic but non-trivial payload
+		}
+		return &buf
+	},
+}
+
 // Server serves one video: GET /manifest.mpd and
 // GET /seg/<repID>/<n>.m4s.
 //
@@ -34,6 +54,12 @@ type Server struct {
 	rungByID map[string]int // repID -> ladder index
 	faults   *faults.Plan   // nil = healthy server
 
+	// Precomputed per-(rung, segment) response parameters: payload
+	// sizes in bytes and their rendered Content-Length values, so the
+	// hot path never re-derives sizes or formats integers.
+	segBytes [][]int
+	segCL    [][]string
+
 	// Per-rung traffic accounting: lock-free so the 64 KiB chunk loop
 	// in writeBody never serialises transfers on a shared mutex.
 	rungStats []rungCounters
@@ -43,8 +69,15 @@ type Server struct {
 	telRequests, telBytes, telFaults []*telemetry.Counter
 	telLatency                       *telemetry.Histogram
 
-	mu       sync.Mutex
-	rateMBps float64 // 0 = unshaped
+	// rateBits holds math.Float64bits of the shaping rate in MB/s
+	// (0 = unshaped). Published atomically so every in-flight chunk
+	// loop picks rate changes up without a lock.
+	rateBits atomic.Uint64
+
+	// pacer is the shared egress shaper: one token bucket across all
+	// connections, so aggregate egress — not per-connection egress —
+	// honours the configured rate.
+	pacer pacer
 }
 
 // rungCounters is one rung's atomic traffic counters.
@@ -56,15 +89,50 @@ type rungCounters struct {
 
 var _ http.Handler = (*Server)(nil)
 
+// pacer is a lock-free token bucket expressed as a virtual clock: the
+// single atomic word holds the nanosecond at which the last reserved
+// chunk's tokens run out. Each sender CASes the clock forward by its
+// chunk's cost (bytes ÷ rate) and sleeps until its own reservation
+// matures. Arrival order is service order, so concurrent connections
+// interleave chunk-by-chunk and the aggregate rate stays pinned to the
+// configured limit no matter how many transfers are in flight. An idle
+// bucket carries no credit: a reservation never starts before now, so
+// a quiet period is not followed by a burst above the cap.
+type pacer struct {
+	next atomic.Int64 // unix nanos when the last reservation matures
+}
+
+// reserve books n bytes at rateMBps and waits for the reservation to
+// mature, returning false if the client went away first.
+func (p *pacer) reserve(r *http.Request, n int, rateMBps float64) bool {
+	cost := int64(float64(n) / (rateMBps * 1e6) * 1e9)
+	for {
+		now := time.Now().UnixNano()
+		prev := p.next.Load()
+		start := prev
+		if start < now {
+			start = now
+		}
+		if !p.next.CompareAndSwap(prev, start+cost) {
+			continue
+		}
+		if d := time.Duration(start + cost - now); d > 0 {
+			return sleepOrGone(r, d)
+		}
+		return true
+	}
+}
+
 // ServerOption customises the server.
 type ServerOption func(*Server)
 
-// WithRateLimitMBps shapes segment responses to the given rate
-// (token-bucket pacing in 64 KiB chunks). Zero disables shaping.
+// WithRateLimitMBps shapes segment responses to the given aggregate
+// rate (a token bucket shared by every connection, paced in 64 KiB
+// chunks). Zero disables shaping.
 func WithRateLimitMBps(mbps float64) ServerOption {
 	return func(s *Server) {
 		if mbps > 0 {
-			s.rateMBps = mbps
+			s.rateBits.Store(math.Float64bits(mbps))
 		}
 	}
 }
@@ -131,11 +199,35 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 		ids[i] = rep.ID
 		byID[rep.ID] = i
 	}
+	// Materialise every segment's payload size (and its Content-Length
+	// header value) up front: the VBR-jittered sizes are deterministic
+	// per manifest, and precomputing them keeps float math, error
+	// handling, and integer formatting off the per-request path.
+	segBytes := make([][]int, len(ids))
+	segCL := make([][]string, len(ids))
+	for rung := range ids {
+		segBytes[rung] = make([]int, m.SegmentCount())
+		segCL[rung] = make([]string, m.SegmentCount())
+		for n := 0; n < m.SegmentCount(); n++ {
+			sizeMB, err := m.SegmentSizeMB(n, rung)
+			if err != nil {
+				return nil, err
+			}
+			size := int(sizeMB * 1e6)
+			if size < 1 {
+				size = 1
+			}
+			segBytes[rung][n] = size
+			segCL[rung][n] = strconv.Itoa(size)
+		}
+	}
 	s := &Server{
 		manifest:  m,
 		mpdXML:    []byte(sb.String()),
 		repIDs:    ids,
 		rungByID:  byID,
+		segBytes:  segBytes,
+		segCL:     segCL,
 		rungStats: make([]rungCounters, len(ids)),
 		// Telemetry mirrors default to nil entries — a nil *Counter is
 		// a no-op, so the serving path increments unconditionally.
@@ -150,15 +242,19 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 }
 
 // SetRateLimitMBps changes the shaping rate at runtime (0 disables) —
-// handy for emulating network dips mid-session. Segment transfers
-// already in flight pick the new rate up at their next chunk.
+// handy for emulating network dips mid-session. The rate is published
+// atomically: segment transfers already in flight pick the new rate up
+// at their next chunk.
 func (s *Server) SetRateLimitMBps(mbps float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if mbps < 0 {
 		mbps = 0
 	}
-	s.rateMBps = mbps
+	s.rateBits.Store(math.Float64bits(mbps))
+}
+
+// rateMBps reads the currently published shaping rate.
+func (s *Server) rateMBps() float64 {
+	return math.Float64frombits(s.rateBits.Load())
 }
 
 // RungSnapshot is one ladder rung's traffic totals.
@@ -249,31 +345,28 @@ func sleepOrGone(r *http.Request, d time.Duration) bool {
 }
 
 func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
-	// Path: /seg/<repID>/<n>.m4s
-	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/seg/"), "/")
-	if len(parts) != 2 || !strings.HasSuffix(parts[1], ".m4s") {
+	// Path: /seg/<repID>/<n>.m4s — parsed with substring cuts only, no
+	// per-request slice allocation.
+	repID, file, ok := strings.Cut(r.URL.Path[len("/seg/"):], "/")
+	if !ok || strings.IndexByte(file, '/') >= 0 || !strings.HasSuffix(file, ".m4s") {
 		http.Error(w, "bad segment path", http.StatusBadRequest)
 		return
 	}
-	rung, ok := s.rungForRepID(parts[0])
+	rung, ok := s.rungForRepID(repID)
 	if !ok {
 		http.Error(w, "unknown representation", http.StatusNotFound)
 		return
 	}
-	n, err := strconv.Atoi(strings.TrimSuffix(parts[1], ".m4s"))
+	n, err := strconv.Atoi(strings.TrimSuffix(file, ".m4s"))
 	if err != nil {
 		http.Error(w, "bad segment number", http.StatusBadRequest)
 		return
 	}
-	sizeMB, err := s.manifest.SegmentSizeMB(n, rung)
-	if err != nil {
+	if n < 0 || n >= len(s.segBytes[rung]) {
 		http.Error(w, "no such segment", http.StatusNotFound)
 		return
 	}
-	size := int(sizeMB * 1e6)
-	if size < 1 {
-		size = 1
-	}
+	size := s.segBytes[rung][n]
 
 	// The request resolved to a real segment: account it (and its
 	// serve latency) to the rung, whatever the fault plan does next.
@@ -310,35 +403,46 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		if cut < 1 {
 			cut = 1
 		}
-		w.Header().Set("Content-Type", "video/iso.segment")
-		w.Header().Set("Content-Length", strconv.Itoa(size))
+		h := w.Header()
+		h.Set("Content-Type", "video/iso.segment")
+		h.Set("Content-Length", s.segCL[rung][n])
 		s.writeBody(w, r, rung, cut, 0)
 		panic(http.ErrAbortHandler)
 	}
 
-	w.Header().Set("Content-Type", "video/iso.segment")
-	w.Header().Set("Content-Length", strconv.Itoa(size))
-	s.writeBody(w, r, rung, size, verdict.Stall)
+	h := w.Header()
+	h.Set("Content-Type", "video/iso.segment")
+	h.Set("Content-Length", s.segCL[rung][n])
+	// Only a Stall verdict hangs the body: probabilistic plans populate
+	// every duration field on every verdict, so honouring Stall here for
+	// other kinds would smuggle a 2 s default hang into, say, a Latency
+	// verdict (which it historically did).
+	var stall time.Duration
+	if verdict.Kind == faults.Stall {
+		stall = verdict.Stall
+	}
+	s.writeBody(w, r, rung, size, stall)
 }
 
-// writeBody streams size synthetic bytes for one rung, re-reading the
-// shaping rate under the mutex every chunk so SetRateLimitMBps applies
-// to transfers already in flight (byte accounting is atomic and never
-// touches the mutex). A positive stall hangs the response before the
-// first body byte — the client sits blocked on the transfer until its
-// per-attempt deadline fires (or the stall ends).
+// writeBody streams size synthetic bytes for one rung from a pooled,
+// pre-filled chunk buffer — the serving path never copies or refills
+// payload, it only slices the shared pattern. The shaping rate is an
+// atomic load per chunk, so SetRateLimitMBps applies to transfers
+// already in flight, and pacing reserves tokens from the bucket shared
+// by every connection, so aggregate egress honours the limit. A
+// positive stall hangs the response before the first body byte — the
+// client sits blocked on the transfer until its per-attempt deadline
+// fires (or the stall ends).
 func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size int, stall time.Duration) {
 	if stall > 0 && !sleepOrGone(r, stall) {
 		return
 	}
-	const chunk = 64 << 10
-	buf := make([]byte, chunk)
-	for i := range buf {
-		buf[i] = byte('0' + (i % 10)) // synthetic but non-trivial payload
-	}
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	buf := *bp
 	remaining := size
 	for remaining > 0 {
-		n := chunk
+		n := chunkSize
 		if remaining < n {
 			n = remaining
 		}
@@ -348,11 +452,10 @@ func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size in
 		remaining -= n
 		s.rungStats[rung].bytes.Add(int64(n))
 		s.telBytes[rung].Add(int64(n))
-		s.mu.Lock()
-		rate := s.rateMBps
-		s.mu.Unlock()
-		if rate > 0 {
-			time.Sleep(time.Duration(float64(n) / (rate * 1e6) * float64(time.Second)))
+		if rate := s.rateMBps(); rate > 0 {
+			if !s.pacer.reserve(r, n, rate) {
+				return
+			}
 		}
 	}
 }
