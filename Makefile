@@ -1,12 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos obs loadtest bench bench-diff benchsmoke experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs loadtest overload bench bench-diff benchsmoke experiments examples cover
 
 all: build vet test
 
 # check is the CI gate: build, vet, tests, the race detector, the
-# observability suite, and a load-generator smoke run.
-check: build vet test race obs loadtest
+# observability suite, a load-generator smoke run, and the overload
+# shed-path smoke.
+check: build vet test race obs loadtest overload
 
 build:
 	go build ./...
@@ -30,6 +31,7 @@ race:
 chaos:
 	go test -race -count=1 ./internal/faults/
 	go test -race -count=1 -run 'Chaos|Outage|Truncated|Cancellation' ./internal/httpdash/ ./internal/netsim/ ./internal/sim/ ./internal/campaign/
+	go test -race -count=1 -run 'Overload|Admission|Breaker|Shutdown|Panic' ./cmd/loadgen/ ./internal/httpdash/ ./internal/pool/
 
 # obs exercises the telemetry layer end to end under the race detector:
 # registry/exposition correctness and concurrency in internal/telemetry,
@@ -48,6 +50,15 @@ obs:
 # a floor so low that only a wedged serving path can miss it.
 loadtest:
 	go run ./cmd/loadgen -workers 4 -duration 2s -min-rps 1 -json
+
+# overload smokes the shed path end to end: loadgen's open loop offers
+# 400 req/s against an in-process server admitting 4 concurrent
+# transfers (queue of 8, 50ms deadline, 4 MB/s token bucket) — far past
+# capacity — and -gate-overload fails the run unless shedding actually
+# happened, issued == ok + shed + errors + aborted, every 5xx carried
+# Retry-After, and Shutdown left zero transfers in flight.
+overload:
+	go run ./cmd/loadgen -rps 400 -max-inflight 4 -max-queue 8 -queue-wait 50ms -rate 4 -rungs 0 -duration 2s -json -gate-overload
 
 # bench runs the full suite with -benchmem and records a dated JSON
 # snapshot (name, ns/op, allocs/op, B/op) for regression tracking.

@@ -1,9 +1,22 @@
-// Command loadgen is a concurrent closed-loop load generator for the
-// httpdash serving path: N workers each fetch segments back-to-back
-// (the next request starts when the previous one finishes) against a
-// target server for a fixed duration, cycling through a configurable
-// rung mix, and report requests/sec, bytes/sec, and p50/p95/p99
-// latency from streaming P² estimators.
+// Command loadgen is a concurrent load generator for the httpdash
+// serving path with two drive modes. The default is a closed loop: N
+// workers each fetch segments back-to-back (the next request starts
+// when the previous one finishes) against a target server for a fixed
+// duration, cycling through a configurable rung mix, reporting
+// requests/sec, bytes/sec, and p50/p95/p99 latency from streaming P²
+// estimators. With -rps it switches to an open loop that issues
+// requests at a fixed offered rate regardless of completions — the
+// drive an overloaded server actually sees — and classifies responses
+// into goodput, sheds (5xx carrying Retry-After), errors, and aborts.
+//
+// Combined with the in-process admission flags, one command becomes an
+// overload experiment, and -gate-overload turns it into a CI gate:
+//
+//	loadgen -rps 400 -max-inflight 4 -max-queue 8 -duration 2s -gate-overload
+//
+// The gate fails the run unless shedding actually happened, every
+// issued request is accounted for (ok + shed + errors + aborted),
+// every 5xx carried Retry-After, and the server drained cleanly.
 //
 // With no -url it stands up an in-process httpdash server on loopback
 // — optionally rate-shaped (-rate) and fault-injected (-fault-*) — so
@@ -58,38 +71,61 @@ func main() {
 
 // report is the machine-readable result of one run.
 type report struct {
-	URL            string  `json:"url"`
-	Workers        int     `json:"workers"`
-	RungMix        []int   `json:"rung_mix"`
-	DurationSec    float64 `json:"duration_sec"`
-	WallSec        float64 `json:"wall_sec"`
-	Requests       int64   `json:"requests"`
-	Errors         int64   `json:"errors"`
-	Bytes          int64   `json:"bytes"`
-	RequestsPerSec float64 `json:"requests_per_sec"`
-	BytesPerSec    float64 `json:"bytes_per_sec"`
-	LatencyMeanMs  float64 `json:"latency_mean_ms"`
-	LatencyP50Ms   float64 `json:"latency_p50_ms"`
-	LatencyP95Ms   float64 `json:"latency_p95_ms"`
-	LatencyP99Ms   float64 `json:"latency_p99_ms"`
-	LatencyMaxMs   float64 `json:"latency_max_ms"`
+	URL         string  `json:"url"`
+	Workers     int     `json:"workers"`
+	RPS         float64 `json:"rps,omitempty"` // offered rate; 0 = closed loop
+	RungMix     []int   `json:"rung_mix"`
+	DurationSec float64 `json:"duration_sec"`
+	WallSec     float64 `json:"wall_sec"`
+	// Issued counts every request started; it always equals
+	// Requests + Shed + Errors + Aborted — the accounting invariant
+	// -gate-overload enforces.
+	Issued   int64 `json:"issued"`
+	Requests int64 `json:"requests"` // completed 200s: the goodput
+	// Shed counts 5xx responses carrying Retry-After — the server
+	// refusing work politely. A 5xx without the header is an error and
+	// counted in MissingRetryAfter.
+	Shed              int64   `json:"shed"`
+	Errors            int64   `json:"errors"`
+	Aborted           int64   `json:"aborted"` // cut off by the run deadline mid-flight
+	MissingRetryAfter int64   `json:"missing_retry_after"`
+	Bytes             int64   `json:"bytes"`
+	RequestsPerSec    float64 `json:"requests_per_sec"` // goodput rate
+	OfferedPerSec     float64 `json:"offered_per_sec"`
+	ShedRate          float64 `json:"shed_rate"` // shed / issued
+	BytesPerSec       float64 `json:"bytes_per_sec"`
+	// Server-side drain record, filled only for an in-process server:
+	// its own shed/queued totals and the in-flight count after
+	// Shutdown — 0 proves the drain leaked no transfers.
+	ServerShed               int64   `json:"server_shed,omitempty"`
+	ServerQueued             int64   `json:"server_queued,omitempty"`
+	ServerInFlightAfterDrain int64   `json:"server_in_flight_after_drain"`
+	LatencyMeanMs            float64 `json:"latency_mean_ms"`
+	LatencyP50Ms             float64 `json:"latency_p50_ms"`
+	LatencyP95Ms             float64 `json:"latency_p95_ms"`
+	LatencyP99Ms             float64 `json:"latency_p99_ms"`
+	LatencyMaxMs             float64 `json:"latency_max_ms"`
 }
 
 // collector aggregates worker observations. Workers hold the mutex
 // only for the few counter updates per request; the requests
 // themselves — the expensive part of a closed loop — run outside it.
 type collector struct {
-	mu       sync.Mutex
-	requests int64
-	errors   int64
-	bytes    int64
-	lat      stats.Accumulator // seconds
-	p50      *stats.P2
-	p95      *stats.P2
-	p99      *stats.P2
+	mu        sync.Mutex
+	issued    int64
+	requests  int64
+	shed      int64
+	errors    int64
+	aborted   int64
+	missingRA int64
+	bytes     int64
+	lat       stats.Accumulator // seconds
+	p50       *stats.P2
+	p95       *stats.P2
+	p99       *stats.P2
 
 	// Optional telemetry mirrors (nil metrics are no-ops).
-	telRequests, telErrors, telBytes *telemetry.Counter
+	telRequests, telErrors, telBytes, telShed *telemetry.Counter
 }
 
 func newCollector() *collector {
@@ -117,27 +153,68 @@ func (c *collector) fail() {
 	c.telErrors.Inc()
 }
 
-func (c *collector) report(url string, workers int, mix []int, configured, wall time.Duration) report {
+func (c *collector) issue() {
+	c.mu.Lock()
+	c.issued++
+	c.mu.Unlock()
+}
+
+// shedded records a polite refusal: a 5xx carrying Retry-After.
+func (c *collector) shedded() {
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
+	c.telShed.Inc()
+}
+
+// failNoRA records the impolite kind — a 5xx without Retry-After —
+// which stays an error and trips the overload gate.
+func (c *collector) failNoRA() {
+	c.mu.Lock()
+	c.errors++
+	c.missingRA++
+	c.mu.Unlock()
+	c.telErrors.Inc()
+}
+
+// abort records a request the run deadline cut off mid-flight: neither
+// goodput nor a server failure, but still part of the issued total.
+func (c *collector) abort() {
+	c.mu.Lock()
+	c.aborted++
+	c.mu.Unlock()
+}
+
+func (c *collector) report(url string, workers int, rps float64, mix []int, configured, wall time.Duration) report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rep := report{
-		URL:           url,
-		Workers:       workers,
-		RungMix:       mix,
-		DurationSec:   configured.Seconds(),
-		WallSec:       wall.Seconds(),
-		Requests:      c.requests,
-		Errors:        c.errors,
-		Bytes:         c.bytes,
-		LatencyMeanMs: c.lat.Mean() * 1e3,
-		LatencyP50Ms:  c.p50.Value() * 1e3,
-		LatencyP95Ms:  c.p95.Value() * 1e3,
-		LatencyP99Ms:  c.p99.Value() * 1e3,
-		LatencyMaxMs:  c.lat.Max() * 1e3,
+		URL:               url,
+		Workers:           workers,
+		RPS:               rps,
+		RungMix:           mix,
+		DurationSec:       configured.Seconds(),
+		WallSec:           wall.Seconds(),
+		Issued:            c.issued,
+		Requests:          c.requests,
+		Shed:              c.shed,
+		Errors:            c.errors,
+		Aborted:           c.aborted,
+		MissingRetryAfter: c.missingRA,
+		Bytes:             c.bytes,
+		LatencyMeanMs:     c.lat.Mean() * 1e3,
+		LatencyP50Ms:      c.p50.Value() * 1e3,
+		LatencyP95Ms:      c.p95.Value() * 1e3,
+		LatencyP99Ms:      c.p99.Value() * 1e3,
+		LatencyMaxMs:      c.lat.Max() * 1e3,
 	}
 	if rep.WallSec > 0 {
 		rep.RequestsPerSec = float64(c.requests) / rep.WallSec
+		rep.OfferedPerSec = float64(c.issued) / rep.WallSec
 		rep.BytesPerSec = float64(c.bytes) / rep.WallSec
+	}
+	if rep.Issued > 0 {
+		rep.ShedRate = float64(c.shed) / float64(c.issued)
 	}
 	return rep
 }
@@ -210,6 +287,49 @@ func fetchInfo(hc *http.Client, base string) (dash.MPDInfo, error) {
 	return dash.InfoFromMPD(mpd)
 }
 
+// fetchOne issues a single segment request and classifies the outcome:
+// 200 is goodput, a 5xx with Retry-After is a shed, a 5xx without one
+// is the error the overload gate forbids, anything cut off by the run
+// deadline is an abort. Every call is matched by exactly one collector
+// record, which is what keeps issued == ok + shed + errors + aborted.
+func fetchOne(ctx context.Context, hc *http.Client, url string, coll *collector) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		coll.fail()
+		return
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			coll.abort() // run over; not the server's fault
+			return
+		}
+		coll.fail()
+		return
+	}
+	n, cerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case cerr != nil:
+		if ctx.Err() != nil {
+			coll.abort()
+			return
+		}
+		coll.fail()
+	case resp.StatusCode >= 500:
+		if resp.Header.Get("Retry-After") != "" {
+			coll.shedded()
+		} else {
+			coll.failNoRA()
+		}
+	case resp.StatusCode != http.StatusOK:
+		coll.fail()
+	default:
+		coll.ok(time.Since(start), n)
+	}
+}
+
 // worker is one closed loop: fetch, record, repeat until the run
 // context expires. Workers start at staggered segment/mix offsets so
 // concurrent loops spread across the presentation instead of convoying
@@ -222,41 +342,50 @@ func worker(ctx context.Context, id int, hc *http.Client, base string, info dash
 		mi = (mi + 1) % len(mix)
 		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], seg)
 		seg = (seg + 1) % info.SegmentCount
+		coll.issue()
+		fetchOne(ctx, hc, url, coll)
+	}
+}
 
-		start := time.Now()
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			coll.fail()
-			continue
+// openLoop issues requests at a fixed offered rate regardless of how
+// fast earlier ones complete — unlike a closed loop, which slows down
+// with the server and so can never overload it. Each request runs in
+// its own goroutine under the run context; at the deadline the
+// stragglers resolve as aborts before openLoop returns.
+func openLoop(ctx context.Context, hc *http.Client, base string, info dash.MPDInfo, mix []int, rps float64, coll *collector) {
+	interval := time.Duration(float64(time.Second) / rps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	seg, mi := 0, 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
 		}
-		resp, err := hc.Do(req)
-		if err != nil {
-			if ctx.Err() != nil {
-				return // run over; the aborted in-flight request is not an error
-			}
-			coll.fail()
-			continue
-		}
-		n, cerr := io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		switch {
-		case cerr != nil:
-			if ctx.Err() != nil {
-				return
-			}
-			coll.fail()
-		case resp.StatusCode != http.StatusOK:
-			coll.fail()
-		default:
-			coll.ok(time.Since(start), n)
-		}
+		rung := mix[mi]
+		mi = (mi + 1) % len(mix)
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], seg)
+		seg = (seg + 1) % info.SegmentCount
+		coll.issue()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fetchOne(ctx, hc, url, coll)
+		}()
 	}
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	url := fs.String("url", "", "target base URL serving /manifest.mpd (default: in-process server)")
-	workers := fs.Int("workers", 8, "concurrent closed-loop workers")
+	workers := fs.Int("workers", 8, "concurrent closed-loop workers (ignored with -rps)")
+	rps := fs.Float64("rps", 0, "open-loop offered rate in requests/sec (0 = closed loop)")
 	duration := fs.Duration("duration", 10*time.Second, "run length")
 	rungsSel := fs.String("rungs", "all", "rung mix: \"all\" or comma-separated ladder indices (repeats weight the mix)")
 	videoSec := fs.Float64("video-sec", 60, "in-process presentation length in seconds")
@@ -270,6 +399,11 @@ func run(args []string, stdout io.Writer) error {
 	fLatFor := fs.Duration("fault-latency-for", 200*time.Millisecond, "added latency")
 	fMax := fs.Int("fault-max-per-key", 0, "faults per URL before the plan relents (0 = never)")
 	fSeed := fs.Int64("fault-seed", 1, "fault plan seed")
+	maxInflight := fs.Int("max-inflight", 0, "in-process server admission cap on concurrent transfers (0 = unbounded)")
+	maxQueue := fs.Int("max-queue", 0, "in-process server admission wait-queue depth")
+	queueWait := fs.Duration("queue-wait", 100*time.Millisecond, "in-process server admission queue deadline")
+	priorityShed := fs.Bool("priority-shed", false, "in-process server sheds top ladder rungs first under pressure")
+	gateOverload := fs.Bool("gate-overload", false, "exit non-zero unless shedding occurred, accounting balances, every 5xx carried Retry-After, and the drain leaked nothing")
 	jsonOut := fs.Bool("json", false, "write the report as JSON to stdout")
 	benchOut := fs.String("bench-out", "", "also write latency percentiles as a benchfmt snapshot to this file")
 	minRPS := fs.Float64("min-rps", 0, "exit non-zero when requests/sec lands below this")
@@ -283,6 +417,9 @@ func run(args []string, stdout io.Writer) error {
 	if *duration <= 0 {
 		return errors.New("-duration must be positive")
 	}
+	if *rps < 0 {
+		return errors.New("-rps must be non-negative")
+	}
 
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
@@ -290,6 +427,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	base := *url
+	var srv *httpdash.Server // non-nil for an in-process target: drained and snapshotted after the run
 	if base == "" {
 		plan, err := faultPlan(*f5xx, *fReset, *fStall, *fTrunc, *fLat, *fStallFor, *fLatFor, *fMax, *fSeed)
 		if err != nil {
@@ -304,10 +442,18 @@ func run(args []string, stdout io.Writer) error {
 		if plan != nil {
 			opts = append(opts, httpdash.WithFaults(plan))
 		}
+		if *maxInflight > 0 {
+			opts = append(opts, httpdash.WithAdmissionControl(httpdash.AdmissionConfig{
+				MaxInFlight:    *maxInflight,
+				MaxQueue:       *maxQueue,
+				QueueWait:      *queueWait,
+				PriorityByRung: *priorityShed,
+			}))
+		}
 		if reg != nil {
 			opts = append(opts, httpdash.WithServerTelemetry(reg))
 		}
-		srv, err := httpdash.NewServer(m, opts...)
+		srv, err = httpdash.NewServer(m, opts...)
 		if err != nil {
 			return err
 		}
@@ -337,6 +483,7 @@ func run(args []string, stdout io.Writer) error {
 	if reg != nil {
 		coll.telRequests = reg.Counter("loadgen_requests_total", "Segment requests completed successfully.")
 		coll.telErrors = reg.Counter("loadgen_errors_total", "Segment requests that failed.")
+		coll.telShed = reg.Counter("loadgen_shed_total", "Segment requests the server shed with Retry-After.")
 		coll.telBytes = reg.Counter("loadgen_bytes_total", "Segment payload bytes received.")
 		reg.GaugeFunc("loadgen_requests_per_sec", "Running mean request rate.", func() float64 {
 			coll.mu.Lock()
@@ -355,18 +502,37 @@ func run(args []string, stdout io.Writer) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	start = time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < *workers; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			worker(ctx, id, hc, base, info, mix, coll)
-		}(i)
+	if *rps > 0 {
+		openLoop(ctx, hc, base, info, mix, *rps, coll)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < *workers; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				worker(ctx, id, hc, base, info, mix, coll)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	wall := time.Since(start)
 
-	rep := coll.report(base, *workers, mix, *duration, wall)
+	rep := coll.report(base, *workers, *rps, mix, *duration, wall)
+	if srv != nil {
+		// Drain the in-process server and record what it saw: its shed
+		// and queue totals, and — the leak check — how many transfers
+		// were still in flight after Shutdown returned.
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := srv.Shutdown(drainCtx)
+		drainCancel()
+		if err != nil {
+			return fmt.Errorf("server drain: %w", err)
+		}
+		snap := srv.Snapshot()
+		rep.ServerShed = snap.Shed
+		rep.ServerQueued = snap.Queued
+		rep.ServerInFlightAfterDrain = snap.InFlight
+	}
 	if *benchOut != "" {
 		snap := []benchfmt.Result{
 			{Name: "Loadgen/request_mean", NsPerOp: rep.LatencyMeanMs * 1e6},
@@ -390,6 +556,32 @@ func run(args []string, stdout io.Writer) error {
 	if *minRPS > 0 && rep.RequestsPerSec < *minRPS {
 		return fmt.Errorf("requests/sec %.1f below -min-rps %.1f", rep.RequestsPerSec, *minRPS)
 	}
+	if *gateOverload {
+		if err := gateOverloadRun(rep, srv != nil); err != nil {
+			return fmt.Errorf("overload gate: %w", err)
+		}
+	}
+	return nil
+}
+
+// gateOverloadRun enforces the overload invariants on a finished run:
+// the server actually shed (the run overloaded it), every issued
+// request is accounted for exactly once, refusals were all polite
+// (Retry-After present), and — for an in-process server — the drain
+// left nothing in flight.
+func gateOverloadRun(rep report, inProcess bool) error {
+	if rep.Shed == 0 {
+		return errors.New("no requests shed — the run never overloaded the server")
+	}
+	if got := rep.Requests + rep.Shed + rep.Errors + rep.Aborted; got != rep.Issued {
+		return fmt.Errorf("accounting leak: issued %d but ok+shed+errors+aborted = %d", rep.Issued, got)
+	}
+	if rep.MissingRetryAfter != 0 {
+		return fmt.Errorf("%d 5xx responses lacked Retry-After", rep.MissingRetryAfter)
+	}
+	if inProcess && rep.ServerInFlightAfterDrain != 0 {
+		return fmt.Errorf("drain leaked %d in-flight transfers", rep.ServerInFlightAfterDrain)
+	}
 	return nil
 }
 
@@ -400,10 +592,23 @@ func writeHuman(w io.Writer, rep report) {
 		mix[i] = strconv.Itoa(r)
 	}
 	fmt.Fprintf(w, "loadgen %s\n", rep.URL)
-	fmt.Fprintf(w, "  workers %d  duration %.1fs (wall %.2fs)  rung mix [%s]\n",
-		rep.Workers, rep.DurationSec, rep.WallSec, strings.Join(mix, " "))
+	if rep.RPS > 0 {
+		fmt.Fprintf(w, "  open loop %.0f req/s offered  duration %.1fs (wall %.2fs)  rung mix [%s]\n",
+			rep.RPS, rep.DurationSec, rep.WallSec, strings.Join(mix, " "))
+	} else {
+		fmt.Fprintf(w, "  workers %d  duration %.1fs (wall %.2fs)  rung mix [%s]\n",
+			rep.Workers, rep.DurationSec, rep.WallSec, strings.Join(mix, " "))
+	}
 	fmt.Fprintf(w, "  requests %d (%d errors)  %.1f req/s  %.2f MB/s\n",
 		rep.Requests, rep.Errors, rep.RequestsPerSec, rep.BytesPerSec/1e6)
+	if rep.Shed > 0 || rep.RPS > 0 {
+		fmt.Fprintf(w, "  issued %d  shed %d (%.0f%%)  aborted %d  goodput %.1f req/s of %.1f offered\n",
+			rep.Issued, rep.Shed, rep.ShedRate*100, rep.Aborted, rep.RequestsPerSec, rep.OfferedPerSec)
+	}
+	if rep.ServerShed > 0 || rep.ServerQueued > 0 {
+		fmt.Fprintf(w, "  server shed %d  queued %d  in-flight after drain %d\n",
+			rep.ServerShed, rep.ServerQueued, rep.ServerInFlightAfterDrain)
+	}
 	fmt.Fprintf(w, "  latency ms  mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		rep.LatencyMeanMs, rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
 }

@@ -160,6 +160,128 @@ func TestRunCountsFaultErrors(t *testing.T) {
 	}
 }
 
+// TestRunOpenLoopOverloadChaos is the shed-path chaos run: open-loop
+// arrivals at far above capacity (300 req/s offered against 2
+// concurrent transfers rate-shaped to 2 MB/s) must overload the
+// server, and the overload must degrade gracefully — every refusal a
+// 503 carrying Retry-After, every issued request accounted for exactly
+// once, goodput bounded by the token-bucket cap rather than inflated
+// by the excess demand, and a clean drain afterwards. This is the
+// -race acceptance run; `make overload` drives the same invariants
+// from the command line via -gate-overload.
+func TestRunOpenLoopOverloadChaos(t *testing.T) {
+	const rateMBps = 2
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rps", "300",
+		"-max-inflight", "2",
+		"-max-queue", "2",
+		"-queue-wait", "20ms",
+		"-rate", "2",
+		"-rungs", "0",
+		"-duration", "700ms",
+		"-json",
+		"-gate-overload",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Shed == 0 {
+		t.Fatal("open loop at 300 req/s against 2 slots never shed")
+	}
+	if rep.Requests == 0 {
+		t.Fatal("overloaded server completed zero requests — shedding everything is not graceful")
+	}
+	if got := rep.Requests + rep.Shed + rep.Errors + rep.Aborted; got != rep.Issued {
+		t.Errorf("accounting leak: issued %d but ok+shed+errors+aborted = %d", rep.Issued, got)
+	}
+	if rep.MissingRetryAfter != 0 {
+		t.Errorf("%d 5xx responses lacked Retry-After", rep.MissingRetryAfter)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("clean overloaded server produced %d hard errors", rep.Errors)
+	}
+	// Goodput must stay within tolerance of what the admission cap and
+	// token bucket allow — overload must not inflate delivery. 2 MB/s
+	// over 25 KB rung-0 segments is 80 req/s of capacity; the wide
+	// tolerance absorbs scheduler jitter in slow CI containers without
+	// letting the 300 req/s offered rate leak through.
+	capacity := rateMBps * 1e6
+	if rep.BytesPerSec > 1.75*capacity {
+		t.Errorf("egress %.0f B/s exceeds %.0f token-bucket cap beyond tolerance", rep.BytesPerSec, capacity)
+	}
+	if rep.ServerInFlightAfterDrain != 0 {
+		t.Errorf("drain leaked %d in-flight transfers", rep.ServerInFlightAfterDrain)
+	}
+	// The server's own shed count must cover every polite refusal the
+	// client observed (it can exceed it when the deadline cut off a
+	// shed response mid-read, which the client records as an abort).
+	if rep.ServerShed < rep.Shed {
+		t.Errorf("server recorded %d sheds but client observed %d", rep.ServerShed, rep.Shed)
+	}
+}
+
+// Latency faults compose with admission control: slow transfers hold
+// slots longer, so the queue deadline does the shedding. The graceful
+// degradation invariants must survive the combination.
+func TestRunOpenLoopOverloadChaosLatencyFaults(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-rps", "200",
+		"-max-inflight", "2",
+		"-max-queue", "1",
+		"-queue-wait", "15ms",
+		"-rungs", "0",
+		"-duration", "600ms",
+		"-fault-latency", "0.5",
+		"-fault-latency-for", "30ms",
+		"-fault-seed", "11",
+		"-json",
+		"-gate-overload",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 || rep.Requests == 0 {
+		t.Errorf("want both sheds and goodput under latency faults, got shed=%d ok=%d", rep.Shed, rep.Requests)
+	}
+	if rep.MissingRetryAfter != 0 {
+		t.Errorf("%d 5xx responses lacked Retry-After", rep.MissingRetryAfter)
+	}
+}
+
+// gateOverloadRun is the CI tripwire; every invariant must fail loudly.
+func TestGateOverloadRun(t *testing.T) {
+	good := report{Issued: 10, Requests: 5, Shed: 3, Errors: 1, Aborted: 1}
+	if err := gateOverloadRun(good, true); err != nil {
+		t.Errorf("balanced report tripped the gate: %v", err)
+	}
+	cases := []struct {
+		name string
+		rep  report
+		want string
+	}{
+		{"no shedding", report{Issued: 5, Requests: 5}, "never overloaded"},
+		{"accounting leak", report{Issued: 10, Requests: 5, Shed: 3}, "accounting leak"},
+		{"missing retry-after", report{Issued: 10, Requests: 5, Shed: 3, Errors: 2, MissingRetryAfter: 2}, "lacked Retry-After"},
+		{"leaked in-flight", report{Issued: 10, Requests: 6, Shed: 4, ServerInFlightAfterDrain: 2}, "leaked"},
+	}
+	for _, c := range cases {
+		err := gateOverloadRun(c.rep, true)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: want error containing %q, got %v", c.name, c.want, err)
+		}
+	}
+}
+
 func TestRunMinRPSGate(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{

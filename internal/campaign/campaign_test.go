@@ -1,11 +1,14 @@
 package campaign
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
 
+	"ecavs/internal/abr"
 	"ecavs/internal/netsim"
+	"ecavs/internal/pool"
 	"ecavs/internal/power"
 	"ecavs/internal/trace"
 )
@@ -32,6 +35,55 @@ func testTraces(t *testing.T) []*trace.Trace {
 		out = append(out, tr)
 	}
 	return out
+}
+
+// panicAlgorithm panics on its Nth decision — a stand-in for an
+// algorithm bug triggered by one rare trace configuration.
+type panicAlgorithm struct {
+	abr.Fixed
+	decisions, panicAt int
+}
+
+func (p *panicAlgorithm) Name() string { return "panicky" }
+
+func (p *panicAlgorithm) ChooseRung(ctx abr.Context) (int, error) {
+	p.decisions++
+	if p.decisions == p.panicAt {
+		panic("scripted algorithm panic")
+	}
+	return p.Fixed.ChooseRung(ctx)
+}
+
+// TestRunSurvivesPanickingSession is the satellite contract: one
+// poisoned session unit must fail the campaign with a typed, diagnosable
+// error — not crash the process that is running 10k other sessions.
+func TestRunSurvivesPanickingSession(t *testing.T) {
+	cfg := Config{
+		Traces:   testTraces(t),
+		Sessions: 16,
+		Seed:     7,
+		Shards:   4,
+		Algorithms: []AlgorithmSpec{
+			{Name: "Youtube", New: func() (abr.Algorithm, error) { return abr.NewYoutube(), nil }},
+			{Name: "panicky", New: func() (abr.Algorithm, error) {
+				return &panicAlgorithm{Fixed: abr.Fixed{Rung: 0}, panicAt: 3}, nil
+			}},
+		},
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("campaign with a panicking algorithm returned nil error")
+	}
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a wrapped *pool.PanicError", err)
+	}
+	if pe.Value != "scripted algorithm panic" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {
@@ -200,8 +252,8 @@ func TestRunAbandonmentCertain(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	traces := testTraces(t)
 	cases := []Config{
-		{Traces: traces},                                  // no sessions
-		{Sessions: 4},                                     // no traces
+		{Traces: traces}, // no sessions
+		{Sessions: 4},    // no traces
 		{Traces: traces, Sessions: 4, AbandonProb: 1.5},   // bad probability
 		{Traces: traces, Sessions: 4, VibrationJitter: 1}, // bad jitter
 		{Traces: traces, Sessions: 4, OutageProb: -0.1},   // bad outage probability

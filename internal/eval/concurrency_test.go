@@ -1,13 +1,35 @@
 package eval
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
+	"ecavs/internal/pool"
 	"ecavs/internal/sim"
 	"ecavs/internal/trace"
 )
+
+// TestRunUnitsRecoversPanic pins that the evaluation fan-out inherits
+// the worker pool's panic isolation: a unit that panics (a poisoned
+// trace×algorithm cell) fails the evaluation with a typed error and a
+// stack instead of crashing the process.
+func TestRunUnitsRecoversPanic(t *testing.T) {
+	err := runUnits(4, func(u int) error {
+		if u == 2 {
+			panic("poisoned evaluation unit")
+		}
+		return nil
+	})
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *pool.PanicError", err)
+	}
+	if pe.Unit != 2 || pe.Value != "poisoned evaluation unit" {
+		t.Errorf("PanicError = unit %d value %v", pe.Unit, pe.Value)
+	}
+}
 
 // TestComparisonConcurrent drives Comparison from many goroutines at
 // once (run under -race) and checks the singleflight contract: every

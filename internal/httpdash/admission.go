@@ -1,0 +1,229 @@
+package httpdash
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecavs/internal/telemetry"
+)
+
+// AdmissionConfig bounds how much concurrent work the server accepts.
+// Excess demand is shed with 503 + Retry-After instead of queuing
+// unboundedly — the serving-path analogue of the paper's Eq. 1
+// tradeoff: degrade (shed a request the client can retry at a lower
+// rung) before failing outright (an unbounded queue that takes every
+// session down when it finally topples).
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently served segment transfers. Required
+	// (>= 1); everything else defaults.
+	MaxInFlight int
+	// MaxQueue bounds the FIFO wait queue in front of the in-flight
+	// slots. Zero queues nothing: a request that cannot start
+	// immediately is shed.
+	MaxQueue int
+	// QueueWait is the longest a queued request waits for a slot before
+	// being shed (default 100ms). Short by design — a client retry with
+	// backoff is cheaper than a convoy of stale waiters.
+	QueueWait time.Duration
+	// RetryAfter is the hint attached to every shed response (default
+	// 1s); clients honour it in their backoff computation.
+	RetryAfter time.Duration
+	// PriorityByRung makes top-half ladder rungs shed first under
+	// pressure: they may use only half the wait queue, so when the
+	// queue fills past the midpoint the server keeps admitting cheap
+	// low-rung requests while expensive top-rung ones bounce. Combined
+	// with the client's downgrade-on-retry this degrades quality before
+	// availability.
+	PriorityByRung bool
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	return c
+}
+
+// WithAdmissionControl bounds concurrent segment transfers: MaxInFlight
+// run, up to MaxQueue wait FIFO for at most QueueWait, and everything
+// beyond that is shed with 503 + Retry-After. A zero-valued config is
+// ignored (admission control stays off, the seed behaviour).
+func WithAdmissionControl(cfg AdmissionConfig) ServerOption {
+	return func(s *Server) {
+		if cfg.MaxInFlight < 1 {
+			return
+		}
+		cfg = cfg.withDefaults()
+		s.admission = &admission{
+			cfg:   cfg,
+			slots: make(chan struct{}, cfg.MaxInFlight),
+		}
+	}
+}
+
+// admission is the server's bounded admission controller. The slot
+// semaphore is a buffered channel: blocked senders park in the
+// runtime's FIFO wait queue, which is exactly the "short FIFO wait
+// queue" the config describes, and the queued counter bounds how many
+// may park at once.
+type admission struct {
+	cfg    AdmissionConfig
+	slots  chan struct{} // capacity MaxInFlight; send = acquire
+	queued atomic.Int64  // current waiters (bounds the FIFO queue)
+
+	// queuedTotal counts requests that waited for a slot (always on;
+	// telQueued is the optional registry mirror, nil = no-op).
+	queuedTotal atomic.Int64
+	telQueued   *telemetry.Counter
+}
+
+// admitResult says how an admission attempt ended.
+type admitResult int
+
+const (
+	admitted admitResult = iota // slot acquired; caller must release
+	shed                        // bounced: respond 503 + Retry-After
+	gone                        // client left while queued: just return
+)
+
+// admit tries to acquire an in-flight slot for a rung's request,
+// waiting in the bounded FIFO queue if necessary.
+func (a *admission) admit(r *http.Request, rung, rungs int) admitResult {
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	default:
+	}
+	// No free slot: queue if the rung's share of the queue has room.
+	// Top-half rungs see half the queue under PriorityByRung, so they
+	// start shedding while low rungs still buffer — quality degrades
+	// before availability does.
+	limit := int64(a.cfg.MaxQueue)
+	if a.cfg.PriorityByRung && rung >= (rungs+1)/2 {
+		limit /= 2
+	}
+	if limit <= 0 {
+		return shed
+	}
+	if q := a.queued.Add(1); q > limit {
+		a.queued.Add(-1)
+		return shed
+	}
+	a.queuedTotal.Add(1)
+	a.telQueued.Inc()
+	timer := time.NewTimer(a.cfg.QueueWait)
+	defer func() {
+		timer.Stop()
+		a.queued.Add(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return admitted
+	case <-timer.C:
+		return shed
+	case <-r.Context().Done():
+		return gone
+	}
+}
+
+// release frees an in-flight slot.
+func (a *admission) release() {
+	<-a.slots
+}
+
+// inFlight reports the currently admitted transfer count.
+func (a *admission) inFlight() int {
+	return len(a.slots)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	sec := int64((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.FormatInt(sec, 10)
+}
+
+// shedResponse answers 503 Service Unavailable with a Retry-After
+// hint — the contract every shed path (admission, drain) goes through,
+// so a client never sees an overload 5xx without a hint.
+func shedResponse(w http.ResponseWriter, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+}
+
+// drainGate tracks in-flight requests for graceful shutdown. The
+// packed atomic word holds the in-flight count plus a draining bit, so
+// the per-request cost is two atomic RMWs; idle is closed exactly once,
+// when the gate is draining and the count reaches zero.
+type drainGate struct {
+	state    atomic.Int64 // count | drainingBit
+	idleOnce sync.Once
+	idle     chan struct{}
+}
+
+const drainingBit = int64(1) << 62
+
+func newDrainGate() *drainGate {
+	return &drainGate{idle: make(chan struct{})}
+}
+
+// enter registers a request; false means the server is draining and
+// the request must be refused.
+func (g *drainGate) enter() bool {
+	for {
+		v := g.state.Load()
+		if v&drainingBit != 0 {
+			return false
+		}
+		if g.state.CompareAndSwap(v, v+1) {
+			return true
+		}
+	}
+}
+
+// exit deregisters a request, closing idle if it was the last one out
+// during a drain.
+func (g *drainGate) exit() {
+	if v := g.state.Add(-1); v == drainingBit {
+		g.idleOnce.Do(func() { close(g.idle) })
+	}
+}
+
+// drain flips the gate: subsequent enters fail, and idle closes once
+// the in-flight count hits zero.
+func (g *drainGate) drain() {
+	for {
+		v := g.state.Load()
+		if v&drainingBit != 0 {
+			return // already draining; the first drainer owns idle
+		}
+		if g.state.CompareAndSwap(v, v|drainingBit) {
+			if v == 0 {
+				g.idleOnce.Do(func() { close(g.idle) })
+			}
+			return
+		}
+	}
+}
+
+// draining reports whether drain has been called.
+func (g *drainGate) draining() bool {
+	return g.state.Load()&drainingBit != 0
+}
+
+// inFlight reports the currently entered request count.
+func (g *drainGate) inFlight() int64 {
+	return g.state.Load() &^ drainingBit
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -24,16 +25,38 @@ var (
 	// budget (including rung downgrades) was exhausted; the session
 	// terminates with this error rather than hanging or mis-reporting.
 	ErrSegmentAbandoned = errors.New("httpdash: segment abandoned after retries")
+	// ErrCircuitOpen marks a fetch attempt refused locally because the
+	// host's circuit breaker is open — the host is failing and hammering
+	// it would deepen the overload. The attempt burns retry budget (and
+	// keeps downgrading the rung) without touching the network.
+	ErrCircuitOpen = errors.New("httpdash: circuit breaker open")
 )
 
 // statusError is a non-2xx response; 5xx are retryable, 4xx are not
-// (the request itself is wrong, retrying cannot help).
+// (the request itself is wrong, retrying cannot help). retryAfter
+// carries the server's Retry-After hint when one was attached (a
+// shedding server says when it is worth coming back).
 type statusError struct {
-	code   int
-	status string
+	code       int
+	status     string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string { return "status " + e.status }
+
+// parseRetryAfter reads a response's Retry-After header (delay-seconds
+// form; the HTTP-date form is not used by this package's servers).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
 
 // RetryPolicy bounds how hard the client fights for each segment.
 type RetryPolicy struct {
@@ -109,9 +132,11 @@ type Client struct {
 	algorithm  abr.Algorithm
 	threshold  float64
 	retry      RetryPolicy
+	breaker    *Breaker      // nil = no circuit breaking
 	fetchAhead int           // 0 = strictly serial fetch loop
 	jitter     atomic.Uint64 // splitmix64 state for backoff jitter
 	tel        clientTelemetry
+	telReg     *telemetry.Registry
 }
 
 // clientTelemetry mirrors the Stats resilience counters into a
@@ -125,6 +150,7 @@ type clientTelemetry struct {
 	timeouts   *telemetry.Counter
 	truncated  *telemetry.Counter
 	abandoned  *telemetry.Counter
+	fastFails  *telemetry.Counter
 	stallSec   *telemetry.Gauge
 }
 
@@ -178,6 +204,31 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 	}
 }
 
+// WithCircuitBreaker puts a circuit breaker in front of the client's
+// host: once the windowed failure rate trips it, attempts fail fast
+// (no network traffic) until the cool-down elapses and probe requests
+// prove the host healthy again. Fast-failed attempts still burn retry
+// budget and still downgrade the rung under RetryPolicy — a braking
+// server pushes sessions down the ladder instead of into abandonment.
+// Zero config fields take DefaultBreakerConfig values.
+func WithCircuitBreaker(cfg BreakerConfig) ClientOption {
+	return func(c *Client) {
+		c.breaker = NewBreaker(cfg)
+	}
+}
+
+// WithSharedBreaker installs an existing breaker, so a fleet of
+// clients streaming from the same host shares one view of its health:
+// the first sessions to see the host fall over open the circuit for
+// everyone. Nil is ignored.
+func WithSharedBreaker(b *Breaker) ClientOption {
+	return func(c *Client) {
+		if b != nil {
+			c.breaker = b
+		}
+	}
+}
+
 // WithClientTelemetry mirrors the client's resilience counters into a
 // telemetry registry:
 //
@@ -190,6 +241,13 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 //	httpdash_client_abandoned_total   segments given up after retries
 //	httpdash_client_stall_seconds     cumulative virtual-playback stall
 //
+// With a circuit breaker configured (in either option order) the
+// breaker series are added:
+//
+//	httpdash_client_breaker_state             0 closed / 1 open / 2 half-open
+//	httpdash_client_breaker_opens_total       closed/half-open → open trips
+//	httpdash_client_breaker_fast_fails_total  attempts refused while open
+//
 // A nil registry is a no-op. Multiple clients sharing one registry
 // share the series — the counters describe the fleet.
 func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
@@ -197,6 +255,7 @@ func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
 		if reg == nil {
 			return
 		}
+		c.telReg = reg
 		c.tel = clientTelemetry{
 			segments:   reg.Counter("httpdash_client_segments_total", "Segments fetched successfully."),
 			bytes:      reg.Counter("httpdash_client_bytes_total", "Segment payload bytes received."),
@@ -233,6 +292,18 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 		return nil, err
 	}
 	c.jitter.Store(uint64(c.retry.JitterSeed))
+	// Breaker and telemetry options compose in either order, so the
+	// breaker's mirrors are wired once both have applied.
+	if c.telReg != nil {
+		c.tel.fastFails = c.telReg.Counter("httpdash_client_breaker_fast_fails_total",
+			"Fetch attempts refused locally by an open circuit breaker.")
+		if c.breaker != nil {
+			c.breaker.telState = c.telReg.Gauge("httpdash_client_breaker_state",
+				"Circuit breaker position: 0 closed, 1 open, 2 half-open.")
+			c.breaker.telOpens = c.telReg.Counter("httpdash_client_breaker_opens_total",
+				"Circuit breaker trips (transitions to open).")
+		}
+	}
 	return c, nil
 }
 
@@ -283,6 +354,9 @@ type Stats struct {
 	Timeouts int
 	// Truncations counts attempts rejected for a short body.
 	Truncations int
+	// FastFails counts attempts refused locally by an open circuit
+	// breaker — retry budget spent without touching the network.
+	FastFails int
 	// AbandonedSegments counts segments whose retry budget ran out.
 	// The session ends at the first abandonment, so this is 0 or 1 in
 	// serial mode; with prefetch enabled, segments in flight alongside
@@ -300,6 +374,7 @@ type fetchCounters struct {
 	downgrades  int
 	timeouts    int
 	truncations int
+	fastFails   int
 	abandoned   int
 }
 
@@ -309,6 +384,7 @@ func (s *Stats) merge(fc fetchCounters) {
 	s.Downgrades += fc.downgrades
 	s.Timeouts += fc.timeouts
 	s.Truncations += fc.truncations
+	s.FastFails += fc.fastFails
 	s.AbandonedSegments += fc.abandoned
 }
 
@@ -589,8 +665,12 @@ func finishStats(stats *Stats, weighted, brSum float64) {
 
 // fetchWithRetry downloads segment seg, starting at the algorithm's
 // chosen rung and applying the retry policy: per-attempt deadline,
-// exponential backoff with deterministic jitter, and (optionally) one
-// rung downgrade per retry until the ladder floor. It returns the rung
+// exponential backoff with deterministic jitter (stretched to any
+// server Retry-After hint), and (optionally) one rung downgrade per
+// retry until the ladder floor. With a breaker configured, attempts
+// against an open circuit fail fast without network traffic — still
+// burning budget and downgrading, so a braking server degrades the
+// session's quality rather than killing it. It returns the rung
 // actually fetched and the attempt count; when the budget runs out the
 // error wraps ErrSegmentAbandoned. Resilience events accumulate into
 // fc (private to this fetch — the caller folds them into Stats), while
@@ -598,6 +678,7 @@ func finishStats(stats *Stats, weighted, brSum float64) {
 func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info manifestInfo, seg, chosen int) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
 	rung = chosen
 	var lastErr error
+	var hint time.Duration // Retry-After or breaker cool-down, consumed by the next backoff
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		attempts = attempt + 1
 		if attempt > 0 {
@@ -608,8 +689,21 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 				fc.downgrades++
 				c.tel.downgrades.Inc()
 			}
-			if err := c.backoff(ctx, attempt); err != nil {
+			if err := c.backoff(ctx, attempt, hint); err != nil {
 				return rung, 0, 0, attempts, err
+			}
+			hint = 0
+		}
+
+		// Fail fast against an open breaker: no request is issued, the
+		// cool-down becomes the next backoff's floor.
+		if c.breaker != nil {
+			if ok, wait := c.breaker.Allow(); !ok {
+				fc.fastFails++
+				c.tel.fastFails.Inc()
+				hint = wait
+				lastErr = fmt.Errorf("%w (cooling down %v)", ErrCircuitOpen, wait)
+				continue
 			}
 		}
 
@@ -624,12 +718,26 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 		deadlineHit := attemptCtx.Err() != nil // read before cancel() taints it
 		cancel()
 		if ferr == nil {
+			if c.breaker != nil {
+				c.breaker.Record(true)
+			}
 			return rung, n, elapsed, attempts, nil
 		}
 		// The caller's context ending is a session cancellation, never a
-		// retryable fault.
+		// retryable fault — and it says nothing about the host's health,
+		// so the breaker's probe slot is released without an outcome.
 		if ctx.Err() != nil {
+			if c.breaker != nil {
+				c.breaker.drop()
+			}
 			return rung, 0, 0, attempts, fmt.Errorf("cancelled mid-download: %w", ctx.Err())
+		}
+		var se *statusError
+		isClientErr := errors.As(ferr, &se) && se.code < 500
+		if c.breaker != nil {
+			// Any response proves the host alive (4xx included); transport
+			// errors, timeouts, truncations, and 5xx count against it.
+			c.breaker.Record(isClientErr)
 		}
 		switch {
 		case deadlineHit:
@@ -638,11 +746,11 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 		case errors.Is(ferr, ErrTruncated):
 			fc.truncations++
 			c.tel.truncated.Inc()
-		default:
-			var se *statusError
-			if errors.As(ferr, &se) && se.code < 500 {
-				return rung, 0, 0, attempts, ferr // 4xx: not retryable
-			}
+		case isClientErr:
+			return rung, 0, 0, attempts, ferr // 4xx: not retryable
+		}
+		if se != nil && se.retryAfter > 0 {
+			hint = se.retryAfter
 		}
 		lastErr = ferr
 	}
@@ -652,28 +760,41 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 		ErrSegmentAbandoned, rung, attempts, lastErr)
 }
 
-// backoff sleeps for the attempt's jittered exponential backoff, or
-// returns early if the session context ends.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
-	d := c.retry.BackoffBase
+// backoff sleeps for the attempt's jittered exponential backoff — or
+// for the server's Retry-After hint when that is longer — and returns
+// early the moment the session context ends, including when it was
+// already cancelled on entry.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cancelled during backoff: %w", err)
+	}
+	var d time.Duration
+	if c.retry.BackoffBase > 0 {
+		d = c.retry.BackoffBase
+		for i := 1; i < attempt && d < c.retry.BackoffMax; i++ {
+			d *= 2
+		}
+		if c.retry.BackoffMax > 0 && d > c.retry.BackoffMax {
+			d = c.retry.BackoffMax
+		}
+		// Equal jitter from a private splitmix64 stream: deterministic for a
+		// fixed JitterSeed, in [d/2, d). The state advances atomically so
+		// concurrent prefetches each take a distinct draw from the stream.
+		z := c.jitter.Add(0x9e3779b97f4a7c15)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		u := float64((z^(z>>31))>>11) / (1 << 53)
+		d = d/2 + time.Duration(u*float64(d/2))
+	}
+	// A shedding server's Retry-After (or an open breaker's remaining
+	// cool-down) floors the wait: coming back sooner would only be shed
+	// again.
+	if hint > d {
+		d = hint
+	}
 	if d <= 0 {
 		return nil
 	}
-	for i := 1; i < attempt && d < c.retry.BackoffMax; i++ {
-		d *= 2
-	}
-	if c.retry.BackoffMax > 0 && d > c.retry.BackoffMax {
-		d = c.retry.BackoffMax
-	}
-	// Equal jitter from a private splitmix64 stream: deterministic for a
-	// fixed JitterSeed, in [d/2, d). The state advances atomically so
-	// concurrent prefetches each take a distinct draw from the stream.
-	z := c.jitter.Add(0x9e3779b97f4a7c15)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	u := float64((z^(z>>31))>>11) / (1 << 53)
-	d = d/2 + time.Duration(u*float64(d/2))
-
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -686,13 +807,24 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 
 // fetchManifest GETs and parses /manifest.mpd, retrying under the same
 // budget as segment fetches (without downgrades — there is only one
-// manifest).
+// manifest) and under the same breaker: an open circuit fails manifest
+// attempts fast too.
 func (c *Client) fetchManifest(ctx context.Context) (info manifestInfo, err error) {
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := c.backoff(ctx, attempt); err != nil {
+			if err := c.backoff(ctx, attempt, hint); err != nil {
 				return info, fmt.Errorf("httpdash: %w", err)
+			}
+			hint = 0
+		}
+		if c.breaker != nil {
+			if ok, wait := c.breaker.Allow(); !ok {
+				c.tel.fastFails.Inc()
+				hint = wait
+				lastErr = fmt.Errorf("httpdash: manifest: %w (cooling down %v)", ErrCircuitOpen, wait)
+				continue
 			}
 		}
 		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
@@ -702,14 +834,27 @@ func (c *Client) fetchManifest(ctx context.Context) (info manifestInfo, err erro
 		info, lastErr = c.fetchManifestOnce(attemptCtx)
 		cancel()
 		if lastErr == nil {
+			if c.breaker != nil {
+				c.breaker.Record(true)
+			}
 			return info, nil
 		}
 		if ctx.Err() != nil {
+			if c.breaker != nil {
+				c.breaker.drop()
+			}
 			return info, lastErr
 		}
 		var se *statusError
-		if errors.As(lastErr, &se) && se.code < 500 {
+		isClientErr := errors.As(lastErr, &se) && se.code < 500
+		if c.breaker != nil {
+			c.breaker.Record(isClientErr)
+		}
+		if isClientErr {
 			return info, lastErr
+		}
+		if se != nil && se.retryAfter > 0 {
+			hint = se.retryAfter
 		}
 	}
 	return info, lastErr
@@ -726,7 +871,8 @@ func (c *Client) fetchManifestOnce(ctx context.Context) (info manifestInfo, err 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return info, fmt.Errorf("httpdash: manifest: %w", &statusError{code: resp.StatusCode, status: resp.Status})
+		return info, fmt.Errorf("httpdash: manifest: %w",
+			&statusError{code: resp.StatusCode, status: resp.Status, retryAfter: parseRetryAfter(resp)})
 	}
 	return parseManifest(resp.Body)
 }
@@ -746,7 +892,7 @@ func (c *Client) fetchSegment(ctx context.Context, url string) (int64, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, &statusError{code: resp.StatusCode, status: resp.Status}
+		return 0, &statusError{code: resp.StatusCode, status: resp.Status, retryAfter: parseRetryAfter(resp)}
 	}
 	n, err := io.Copy(io.Discard, resp.Body)
 	want := resp.ContentLength

@@ -10,6 +10,7 @@
 package httpdash
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -54,6 +55,13 @@ type Server struct {
 	rungByID map[string]int // repID -> ladder index
 	faults   *faults.Plan   // nil = healthy server
 
+	// admission bounds concurrent segment transfers (nil = accept
+	// everything, the seed behaviour); gate tracks every in-flight
+	// request for Shutdown's graceful drain and is always on.
+	admission *admission
+	gate      *drainGate
+	shedDrain atomic.Int64 // requests refused while draining
+
 	// Precomputed per-(rung, segment) response parameters: payload
 	// sizes in bytes and their rendered Content-Length values, so the
 	// hot path never re-derives sizes or formats integers.
@@ -66,8 +74,9 @@ type Server struct {
 
 	// Optional telemetry mirrors (nil without WithServerTelemetry;
 	// nil metrics are no-ops, so the serving path stays branch-free).
-	telRequests, telBytes, telFaults []*telemetry.Counter
-	telLatency                       *telemetry.Histogram
+	telRequests, telBytes, telFaults, telShed []*telemetry.Counter
+	telLatency                                *telemetry.Histogram
+	telReg                                    *telemetry.Registry
 
 	// rateBits holds math.Float64bits of the shaping rate in MB/s
 	// (0 = unshaped). Published atomically so every in-flight chunk
@@ -85,6 +94,7 @@ type rungCounters struct {
 	requests atomic.Int64
 	bytes    atomic.Int64
 	faults   atomic.Int64
+	shed     atomic.Int64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -143,6 +153,9 @@ func WithRateLimitMBps(mbps float64) ServerOption {
 //	httpdash_server_requests_total{rung}  segment requests accepted
 //	httpdash_server_bytes_total{rung}     segment payload bytes sent
 //	httpdash_server_faults_total{rung}    fault verdicts realized
+//	httpdash_server_shed_total{rung}      segment requests shed by admission control
+//	httpdash_server_queued_total          segment requests that waited for a slot
+//	httpdash_server_inflight              currently admitted requests (scrape-time)
 //	httpdash_server_segment_seconds       segment serve latency
 //
 // A nil registry is a no-op (Snapshot and BytesSent still work — they
@@ -152,20 +165,28 @@ func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
 		if reg == nil {
 			return
 		}
+		s.telReg = reg
 		requests := reg.CounterVec("httpdash_server_requests_total",
 			"Segment requests accepted, by ladder rung.", "rung")
 		bytes := reg.CounterVec("httpdash_server_bytes_total",
 			"Segment payload bytes sent, by ladder rung.", "rung")
 		faultsVec := reg.CounterVec("httpdash_server_faults_total",
 			"Injected fault verdicts realized, by ladder rung.", "rung")
+		shedVec := reg.CounterVec("httpdash_server_shed_total",
+			"Segment requests shed by admission control, by ladder rung.", "rung")
 		for i := range s.repIDs {
 			rung := strconv.Itoa(i)
 			s.telRequests[i] = requests.With(rung)
 			s.telBytes[i] = bytes.With(rung)
 			s.telFaults[i] = faultsVec.With(rung)
+			s.telShed[i] = shedVec.With(rung)
 		}
 		s.telLatency = reg.Histogram("httpdash_server_segment_seconds",
 			"Wall-clock time serving one segment request.", telemetry.DefLatencyBuckets())
+		reg.GaugeFunc("httpdash_server_inflight",
+			"Requests currently being served (sampled at scrape time).", func() float64 {
+				return float64(s.gate.inFlight())
+			})
 	}
 }
 
@@ -229,14 +250,22 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 		segBytes:  segBytes,
 		segCL:     segCL,
 		rungStats: make([]rungCounters, len(ids)),
+		gate:      newDrainGate(),
 		// Telemetry mirrors default to nil entries — a nil *Counter is
 		// a no-op, so the serving path increments unconditionally.
 		telRequests: make([]*telemetry.Counter, len(ids)),
 		telBytes:    make([]*telemetry.Counter, len(ids)),
 		telFaults:   make([]*telemetry.Counter, len(ids)),
+		telShed:     make([]*telemetry.Counter, len(ids)),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	// Admission and telemetry options compose in either order, so the
+	// controller's own mirrors are wired after both have applied.
+	if s.telReg != nil && s.admission != nil {
+		s.admission.telQueued = s.telReg.Counter("httpdash_server_queued_total",
+			"Segment requests that waited in the admission queue.")
 	}
 	return s, nil
 }
@@ -262,11 +291,13 @@ type RungSnapshot struct {
 	// RepID is the rung's representation ID in the MPD.
 	RepID string `json:"rep_id"`
 	// Requests counts accepted segment requests (before any fault
-	// verdict), Bytes the payload actually written, and Faults the
-	// injected fault verdicts realized for this rung.
+	// verdict), Bytes the payload actually written, Faults the injected
+	// fault verdicts realized, and Shed the requests bounced by
+	// admission control for this rung.
 	Requests int64 `json:"requests"`
 	Bytes    int64 `json:"bytes"`
 	Faults   int64 `json:"faults"`
+	Shed     int64 `json:"shed"`
 }
 
 // Snapshot is a point-in-time copy of the server's traffic counters.
@@ -277,6 +308,18 @@ type Snapshot struct {
 	Requests int64 `json:"requests"`
 	Bytes    int64 `json:"bytes"`
 	Faults   int64 `json:"faults"`
+	// Shed totals every refused request: per-rung admission sheds plus
+	// requests bounced while draining. Requests+Shed therefore equals
+	// every request that resolved to a real segment (or arrived during
+	// a drain) — the accepted+shed == issued accounting overload tests
+	// gate on.
+	Shed int64 `json:"shed"`
+	// Queued counts requests that waited in the admission queue before
+	// being admitted or shed.
+	Queued int64 `json:"queued"`
+	// InFlight is the number of requests being served at snapshot time
+	// (0 after a completed Shutdown — no leaked transfers).
+	InFlight int64 `json:"in_flight"`
 }
 
 // Snapshot reads the per-rung traffic counters. Counters are sampled
@@ -291,12 +334,19 @@ func (s *Server) Snapshot() Snapshot {
 			Requests: rc.requests.Load(),
 			Bytes:    rc.bytes.Load(),
 			Faults:   rc.faults.Load(),
+			Shed:     rc.shed.Load(),
 		}
 		snap.Rungs[i] = r
 		snap.Requests += r.Requests
 		snap.Bytes += r.Bytes
 		snap.Faults += r.Faults
+		snap.Shed += r.Shed
 	}
+	snap.Shed += s.shedDrain.Load()
+	if s.admission != nil {
+		snap.Queued = s.admission.queuedTotal.Load()
+	}
+	snap.InFlight = s.gate.inFlight()
 	return snap
 }
 
@@ -308,6 +358,15 @@ func (s *Server) BytesSent() int64 {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The drain gate brackets every request: once Shutdown has been
+	// called new requests bounce with 503 + Retry-After, and Shutdown
+	// returns only after the last gated request exits.
+	if !s.gate.enter() {
+		s.shedDrain.Add(1)
+		shedResponse(w, s.shedRetryAfter())
+		return
+	}
+	defer s.gate.exit()
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -320,6 +379,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveSegment(w, r)
 	default:
 		http.NotFound(w, r)
+	}
+}
+
+// shedRetryAfter is the Retry-After hint attached to refused requests.
+func (s *Server) shedRetryAfter() time.Duration {
+	if s.admission != nil {
+		return s.admission.cfg.RetryAfter
+	}
+	return time.Second
+}
+
+// Shutdown drains the server gracefully: it stops accepting requests
+// (new ones are refused with 503 + Retry-After so clients back off and
+// retry elsewhere) and waits for in-flight transfers to finish,
+// bounded by the context. It returns nil once the server is idle, or
+// the context's error if the deadline expires first. Shutdown is
+// idempotent and composes with http.Server.Shutdown — call this first
+// so the handler refuses fresh work while the listener unwinds.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gate.drain()
+	select {
+	case <-s.gate.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -367,6 +451,23 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size := s.segBytes[rung][n]
+
+	// Admission: acquire an in-flight slot (possibly waiting in the
+	// bounded FIFO queue) or shed the request with 503 + Retry-After.
+	// Malformed URLs never reach this point, so shedding is accounted
+	// per real rung and the accepted+shed == issued invariant holds.
+	if a := s.admission; a != nil {
+		switch a.admit(r, rung, len(s.repIDs)) {
+		case shed:
+			s.rungStats[rung].shed.Add(1)
+			s.telShed[rung].Inc()
+			shedResponse(w, a.cfg.RetryAfter)
+			return
+		case gone:
+			return // client left while queued; nothing to answer
+		}
+		defer a.release()
+	}
 
 	// The request resolved to a real segment: account it (and its
 	// serve latency) to the rung, whatever the fault plan does next.

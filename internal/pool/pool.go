@@ -1,14 +1,47 @@
 // Package pool provides the bounded worker pool shared by the
 // parallel evaluation engine and the Monte-Carlo campaign runner:
 // CPU-bound units are claimed off an atomic counter by a fixed set of
-// goroutines, with first-error-wins cancellation.
+// goroutines, with first-error-wins cancellation and per-unit panic
+// isolation (a panicking unit becomes a *PanicError instead of
+// crashing the process).
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a unit panic converted into an error: one poisoned
+// unit (a malformed trace, an algorithm bug on a rare input) fails its
+// run with a diagnosable error instead of taking down the whole
+// campaign process. It participates in first-error-wins collection
+// like any other unit error.
+type PanicError struct {
+	// Unit is the unit number that panicked.
+	Unit int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack, captured inside the
+	// deferred recover so the panic site is on it.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: unit %d panicked: %v\n%s", e.Unit, e.Value, e.Stack)
+}
+
+// safeCall runs fn(unit), converting a panic into a *PanicError.
+func safeCall(unit int, fn func(unit int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Unit: unit, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(unit)
+}
 
 // Run executes fn(0..n-1) on a bounded worker pool and returns the
 // error of the lowest-numbered failing unit, or nil.
@@ -20,7 +53,9 @@ import (
 // cancellation) but in-flight units run to completion. Each unit
 // writes only its own error slot, so the collection needs no lock,
 // and callers that store per-unit results index by unit number to
-// keep assembly deterministic regardless of completion order.
+// keep assembly deterministic regardless of completion order. A unit
+// that panics is recovered into a *PanicError carrying the panic value
+// and stack, and counts as that unit failing.
 func Run(n, workers int, fn func(unit int) error) error {
 	if n <= 0 {
 		return nil
@@ -47,7 +82,7 @@ func Run(n, workers int, fn func(unit int) error) error {
 				if unit >= n || failed.Load() {
 					return
 				}
-				if err := fn(unit); err != nil {
+				if err := safeCall(unit, fn); err != nil {
 					errs[unit] = err
 					failed.Store(true)
 				}

@@ -3,6 +3,8 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -52,6 +54,61 @@ func TestRunReturnsLowestFailingUnit(t *testing.T) {
 	}
 	if got := err.Error(); got != "unit 3: boom" {
 		t.Errorf("err = %q, want the lowest-numbered failure", got)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(8, 2, func(u int) error {
+		ran.Add(1)
+		if u == 3 {
+			panic("poisoned unit")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking unit produced no error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Unit != 3 {
+		t.Errorf("PanicError.Unit = %d, want 3", pe.Unit)
+	}
+	if pe.Value != "poisoned unit" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "pool_test") {
+		t.Errorf("PanicError.Stack does not reach the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "unit 3 panicked") {
+		t.Errorf("error text %q missing panic diagnosis", err.Error())
+	}
+}
+
+// TestRunPanicIsFirstErrorWins pins that a panic participates in the
+// lowest-numbered-failure collection like a plain error: both units
+// are forced to run (a barrier holds each until the other is claimed)
+// and the lower-numbered plain error wins over the panic.
+func TestRunPanicIsFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	var both sync.WaitGroup
+	both.Add(2)
+	err := Run(2, 2, func(u int) error {
+		both.Done()
+		both.Wait()
+		if u == 0 {
+			return fmt.Errorf("unit 0: %w", sentinel)
+		}
+		panic("higher-numbered panic")
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the lower-numbered plain error", err)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("higher-numbered panic won over lower-numbered error: %v", err)
 	}
 }
 
