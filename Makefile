@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos obs loadtest overload bench bench-diff benchsmoke experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs loadtest overload tracesmoke vuln bench bench-diff benchsmoke experiments examples cover
 
 all: build vet test
 
 # check is the CI gate: build, vet, tests, the race detector, the
-# observability suite, a load-generator smoke run, and the overload
-# shed-path smoke.
-check: build vet test race obs loadtest overload
+# observability suite, a load-generator smoke run, the overload
+# shed-path smoke, and the request-tracing smoke.
+check: build vet test race obs loadtest overload tracesmoke
 
 build:
 	go build ./...
@@ -59,6 +59,25 @@ loadtest:
 # Retry-After, and Shutdown left zero transfers in flight.
 overload:
 	go run ./cmd/loadgen -rps 400 -max-inflight 4 -max-queue 8 -queue-wait 50ms -rate 4 -rungs 0 -duration 2s -json -gate-overload
+
+# tracesmoke smokes request tracing end to end: a 2s loadgen run with
+# injected 5xx faults and retries, tracing on with keep-everything
+# sampling, and -gate-trace fails the run unless the store holds at
+# least one sampled cross-process trace — client attempt spans and
+# server spans merged under one trace ID, proving the traceparent
+# header survived the wire.
+tracesmoke:
+	go run ./cmd/loadgen -workers 4 -duration 2s -fault-5xx 0.25 -fault-max-per-key 1 -retries 3 -rungs 0 -trace-cap 2048 -trace-ratio 1 -trace-slowest 3 -json -gate-trace
+
+# vuln scans the module against the Go vulnerability database. The
+# scanner is optional locally (it needs a network fetch to install);
+# CI installs it explicitly, so absence here is a skip, not a failure.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # bench runs the full suite with -benchmem and records a dated JSON
 # snapshot (name, ns/op, allocs/op, B/op) for regression tracking.

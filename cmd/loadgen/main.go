@@ -37,6 +37,19 @@
 // the bar, which is what `make loadtest` gates CI on; -metrics-addr
 // serves live telemetry (Prometheus text + JSON + pprof) during the
 // run.
+//
+// -trace-cap turns on request tracing: every request chain is a root
+// span with attempt (and, with -retries, backoff) children, each try
+// carrying a W3C traceparent header so the in-process server's spans
+// merge under the same trace ID. The tail sampler keeps errors and
+// sheds, everything over -trace-latency, and a -trace-ratio slice of
+// the rest; the report gains a traces section breaking down the
+// -trace-slowest slowest sampled traces, -metrics-addr additionally
+// serves the /debug/traces explorer, and -gate-trace turns the run
+// into the CI smoke check `make tracesmoke` drives:
+//
+//	loadgen -duration 2s -fault-5xx 0.25 -retries 3 -trace-cap 2048 \
+//	        -trace-ratio 1 -gate-trace
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -60,6 +74,7 @@ import (
 	"ecavs/internal/httpdash"
 	"ecavs/internal/stats"
 	"ecavs/internal/telemetry"
+	"ecavs/internal/tracing"
 )
 
 func main() {
@@ -105,6 +120,85 @@ type report struct {
 	LatencyP95Ms             float64 `json:"latency_p95_ms"`
 	LatencyP99Ms             float64 `json:"latency_p99_ms"`
 	LatencyMaxMs             float64 `json:"latency_max_ms"`
+	// Traces summarises the run's sampled request traces; nil unless
+	// -trace-cap enabled tracing.
+	Traces *traceReport `json:"traces,omitempty"`
+}
+
+// traceReport is the tracing section of the run report: the tail
+// sampler's accounting plus span breakdowns of the slowest sampled
+// traces.
+type traceReport struct {
+	Seen        int64 `json:"seen"`
+	Kept        int64 `json:"kept"`
+	KeptError   int64 `json:"kept_error"`
+	KeptLatency int64 `json:"kept_latency"`
+	KeptRatio   int64 `json:"kept_ratio"`
+	Dropped     int64 `json:"dropped"`
+	Stored      int   `json:"stored"` // merged traces still in the ring
+	// CrossProcess counts stored traces carrying spans from more than
+	// one service — proof the traceparent header crossed the wire and
+	// the server joined the client's trace.
+	CrossProcess int            `json:"cross_process"`
+	Slowest      []traceSummary `json:"slowest,omitempty"`
+}
+
+// traceSummary is one merged trace in the report, spans flattened to
+// the offset/duration breakdown a human scans for the bottleneck.
+type traceSummary struct {
+	TraceID    string          `json:"trace_id"`
+	DurationMs float64         `json:"duration_ms"`
+	Services   []string        `json:"services"`
+	Error      bool            `json:"error"`
+	Spans      []traceSpanLine `json:"spans"`
+}
+
+// traceSpanLine is one span row in a traceSummary.
+type traceSpanLine struct {
+	Service    string  `json:"service"`
+	Name       string  `json:"name"`
+	OffsetMs   float64 `json:"offset_ms"`
+	DurationMs float64 `json:"duration_ms"`
+	Status     string  `json:"status,omitempty"`
+}
+
+// buildTraceReport snapshots the store into the report's tracing
+// section, with the slowest N merged traces broken down span by span.
+func buildTraceReport(store *tracing.Store, slowest int) *traceReport {
+	st := store.Stats()
+	views := store.Views()
+	tr := &traceReport{
+		Seen:        st.Seen,
+		Kept:        st.Kept,
+		KeptError:   st.KeptError,
+		KeptLatency: st.KeptLatency,
+		KeptRatio:   st.KeptRatio,
+		Dropped:     st.Dropped,
+		Stored:      len(views),
+	}
+	for _, v := range views {
+		if len(v.Services) >= 2 {
+			tr.CrossProcess++
+		}
+	}
+	sort.SliceStable(views, func(i, j int) bool { return views[i].DurationMs > views[j].DurationMs })
+	if slowest > len(views) {
+		slowest = len(views)
+	}
+	for _, v := range views[:max(slowest, 0)] {
+		s := traceSummary{TraceID: v.TraceID, DurationMs: v.DurationMs, Services: v.Services, Error: v.Error}
+		for _, sp := range v.Spans {
+			s.Spans = append(s.Spans, traceSpanLine{
+				Service:    sp.Service,
+				Name:       sp.Name,
+				OffsetMs:   sp.OffsetMs,
+				DurationMs: sp.DurationMs,
+				Status:     sp.Status,
+			})
+		}
+		tr.Slowest = append(tr.Slowest, s)
+	}
+	return tr
 }
 
 // collector aggregates worker observations. Workers hold the mutex
@@ -287,46 +381,146 @@ func fetchInfo(hc *http.Client, base string) (dash.MPDInfo, error) {
 	return dash.InfoFromMPD(mpd)
 }
 
-// fetchOne issues a single segment request and classifies the outcome:
+// fetcher issues segment requests. One fetchOne call is a retry chain
+// ending in exactly one collector record, which is what keeps
+// issued == ok + shed + errors + aborted even with -retries set.
+type fetcher struct {
+	hc      *http.Client
+	tracer  *tracing.Tracer // nil = tracing off; every span call no-ops
+	retries int             // extra attempts after the first, on 5xx or transport error
+	coll    *collector
+}
+
+// outcome classifies one attempt — and, via the last attempt, the
+// whole chain.
+type outcome int
+
+const (
+	outcomeOK       outcome = iota
+	outcomeShed             // 5xx carrying Retry-After: a polite refusal
+	outcomeFail             // transport error or unexpected status
+	outcomeFailNoRA         // 5xx without Retry-After: the impolite kind
+	outcomeAbort            // run deadline cut the request off mid-flight
+)
+
+// fetchOne issues one request chain and classifies its final outcome:
 // 200 is goodput, a 5xx with Retry-After is a shed, a 5xx without one
 // is the error the overload gate forbids, anything cut off by the run
-// deadline is an abort. Every call is matched by exactly one collector
-// record, which is what keeps issued == ok + shed + errors + aborted.
-func fetchOne(ctx context.Context, hc *http.Client, url string, coll *collector) {
+// deadline is an abort. With -retries set, 5xx responses and transport
+// errors are retried after a short backoff; the chain still produces
+// exactly one collector record, for its final outcome. With tracing on,
+// the chain is one root span with an attempt child per try, and each
+// try carries a traceparent header so a traced server joins the trace.
+func (f *fetcher) fetchOne(ctx context.Context, url string, seg, rung int) {
+	span := f.tracer.StartRoot("request")
+	span.SetAttrInt("segment", int64(seg))
+	span.SetAttrInt("rung", int64(rung))
 	start := time.Now()
+	var (
+		out      outcome
+		n        int64
+		attempts int
+	)
+loop:
+	for {
+		attempts++
+		att := span.StartChild("attempt")
+		att.SetAttrInt("try", int64(attempts))
+		out, n = f.attempt(ctx, url, att)
+		att.End()
+		switch out {
+		case outcomeOK, outcomeAbort:
+			break loop
+		}
+		if attempts > f.retries || ctx.Err() != nil {
+			break
+		}
+		delay := time.Duration(attempts) * 5 * time.Millisecond
+		if delay > 50*time.Millisecond {
+			delay = 50 * time.Millisecond
+		}
+		bo := span.StartChild("backoff")
+		bo.SetAttrDuration("wait", delay)
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			bo.SetStatus("cancelled", "run deadline during backoff")
+			bo.End()
+			out = outcomeAbort
+			break loop
+		case <-timer.C:
+		}
+		bo.End()
+	}
+	span.SetAttrInt("attempts", int64(attempts))
+	switch out {
+	case outcomeOK:
+		span.SetAttrInt("bytes", n)
+		span.End()
+		f.coll.ok(time.Since(start), n)
+	case outcomeShed:
+		span.SetStatus("shed", "refused with Retry-After")
+		span.End()
+		f.coll.shedded()
+	case outcomeFailNoRA:
+		span.SetStatus("error", "5xx without Retry-After")
+		span.End()
+		f.coll.failNoRA()
+	case outcomeFail:
+		span.SetStatus("error", "request failed")
+		span.End()
+		f.coll.fail()
+	case outcomeAbort:
+		span.SetStatus("cancelled", "run deadline")
+		span.End()
+		f.coll.abort() // run over; not the server's fault
+	}
+}
+
+// attempt is one HTTP round trip of a chain, recorded on att.
+func (f *fetcher) attempt(ctx context.Context, url string, att *tracing.Span) (outcome, int64) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		coll.fail()
-		return
+		att.SetError(err)
+		return outcomeFail, 0
 	}
-	resp, err := hc.Do(req)
+	if tp := att.TraceParent(); tp != "" {
+		req.Header.Set(tracing.Header, tp)
+	}
+	resp, err := f.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			coll.abort() // run over; not the server's fault
-			return
+			att.SetStatus("cancelled", "run deadline")
+			return outcomeAbort, 0
 		}
-		coll.fail()
-		return
+		att.SetError(err)
+		return outcomeFail, 0
 	}
 	n, cerr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	att.SetAttrInt("http_status", int64(resp.StatusCode))
 	switch {
 	case cerr != nil:
 		if ctx.Err() != nil {
-			coll.abort()
-			return
+			att.SetStatus("cancelled", "run deadline")
+			return outcomeAbort, n
 		}
-		coll.fail()
+		att.SetError(cerr)
+		return outcomeFail, n
 	case resp.StatusCode >= 500:
 		if resp.Header.Get("Retry-After") != "" {
-			coll.shedded()
-		} else {
-			coll.failNoRA()
+			att.SetStatus("shed", resp.Status)
+			return outcomeShed, n
 		}
+		att.SetStatus("error", resp.Status)
+		return outcomeFailNoRA, n
 	case resp.StatusCode != http.StatusOK:
-		coll.fail()
+		att.SetStatus("error", resp.Status)
+		return outcomeFail, n
 	default:
-		coll.ok(time.Since(start), n)
+		att.SetAttrInt("bytes", n)
+		return outcomeOK, n
 	}
 }
 
@@ -334,16 +528,17 @@ func fetchOne(ctx context.Context, hc *http.Client, url string, coll *collector)
 // context expires. Workers start at staggered segment/mix offsets so
 // concurrent loops spread across the presentation instead of convoying
 // on one URL.
-func worker(ctx context.Context, id int, hc *http.Client, base string, info dash.MPDInfo, mix []int, coll *collector) {
+func worker(ctx context.Context, id int, f *fetcher, base string, info dash.MPDInfo, mix []int) {
 	seg := id % info.SegmentCount
 	mi := id % len(mix)
 	for ctx.Err() == nil {
 		rung := mix[mi]
 		mi = (mi + 1) % len(mix)
-		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], seg)
+		s := seg
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], s)
 		seg = (seg + 1) % info.SegmentCount
-		coll.issue()
-		fetchOne(ctx, hc, url, coll)
+		f.coll.issue()
+		f.fetchOne(ctx, url, s, rung)
 	}
 }
 
@@ -352,7 +547,7 @@ func worker(ctx context.Context, id int, hc *http.Client, base string, info dash
 // with the server and so can never overload it. Each request runs in
 // its own goroutine under the run context; at the deadline the
 // stragglers resolve as aborts before openLoop returns.
-func openLoop(ctx context.Context, hc *http.Client, base string, info dash.MPDInfo, mix []int, rps float64, coll *collector) {
+func openLoop(ctx context.Context, f *fetcher, base string, info dash.MPDInfo, mix []int, rps float64) {
 	interval := time.Duration(float64(time.Second) / rps)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -370,13 +565,14 @@ func openLoop(ctx context.Context, hc *http.Client, base string, info dash.MPDIn
 		}
 		rung := mix[mi]
 		mi = (mi + 1) % len(mix)
-		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], seg)
+		s := seg
+		url := fmt.Sprintf("%s/seg/%s/%d.m4s", base, info.RepIDs[rung], s)
 		seg = (seg + 1) % info.SegmentCount
-		coll.issue()
+		f.coll.issue()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fetchOne(ctx, hc, url, coll)
+			f.fetchOne(ctx, url, s, rung)
 		}()
 	}
 }
@@ -403,6 +599,12 @@ func run(args []string, stdout io.Writer) error {
 	maxQueue := fs.Int("max-queue", 0, "in-process server admission wait-queue depth")
 	queueWait := fs.Duration("queue-wait", 100*time.Millisecond, "in-process server admission queue deadline")
 	priorityShed := fs.Bool("priority-shed", false, "in-process server sheds top ladder rungs first under pressure")
+	retries := fs.Int("retries", 0, "retries per request on 5xx or transport error (0 = none)")
+	traceCap := fs.Int("trace-cap", 0, "trace ring capacity; 0 disables request tracing")
+	traceRatio := fs.Float64("trace-ratio", 0.01, "tail-sampling keep ratio for healthy traces")
+	traceLatency := fs.Duration("trace-latency", 250*time.Millisecond, "tail-sampling latency threshold; slower traces are always kept")
+	traceSlowest := fs.Int("trace-slowest", 3, "slowest sampled traces broken down in the report")
+	gateTrace := fs.Bool("gate-trace", false, "exit non-zero unless a sampled cross-process trace was captured (needs -trace-cap)")
 	gateOverload := fs.Bool("gate-overload", false, "exit non-zero unless shedding occurred, accounting balances, every 5xx carried Retry-After, and the drain leaked nothing")
 	jsonOut := fs.Bool("json", false, "write the report as JSON to stdout")
 	benchOut := fs.String("bench-out", "", "also write latency percentiles as a benchfmt snapshot to this file")
@@ -420,10 +622,30 @@ func run(args []string, stdout io.Writer) error {
 	if *rps < 0 {
 		return errors.New("-rps must be non-negative")
 	}
+	if *retries < 0 {
+		return errors.New("-retries must be non-negative")
+	}
+	if *gateTrace && *traceCap <= 0 {
+		return errors.New("-gate-trace needs -trace-cap > 0 to sample traces")
+	}
 
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
+	}
+
+	// Tracing topology: one shared store, a "loadgen" tracer on the
+	// request chains, and — for an in-process target — a "server" tracer
+	// so both halves of every request merge under one trace ID. Both
+	// sides run the same sampler; the ratio slice hashes the trace ID,
+	// so they agree on every verdict without coordination.
+	var traceStore *tracing.Store
+	var clientTracer *tracing.Tracer
+	sampler := tracing.Sampler{KeepErrors: true, LatencyThreshold: *traceLatency, Ratio: *traceRatio}
+	if *traceCap > 0 {
+		traceStore = tracing.NewStore(*traceCap)
+		clientTracer = tracing.New(tracing.Config{Service: "loadgen", Sampler: sampler, Seed: 1}, traceStore)
+		reg.AttachTraces(traceStore) // nil registry is a no-op
 	}
 
 	base := *url
@@ -452,6 +674,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if reg != nil {
 			opts = append(opts, httpdash.WithServerTelemetry(reg))
+		}
+		if traceStore != nil {
+			serverTracer := tracing.New(tracing.Config{Service: "server", Sampler: sampler, Seed: 2}, traceStore)
+			opts = append(opts, httpdash.WithServerTracing(serverTracer))
 		}
 		srv, err = httpdash.NewServer(m, opts...)
 		if err != nil {
@@ -499,18 +725,19 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "loadgen: telemetry on http://%s/metrics\n", addr)
 	}
 
+	f := &fetcher{hc: hc, tracer: clientTracer, retries: *retries, coll: coll}
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	start = time.Now()
 	if *rps > 0 {
-		openLoop(ctx, hc, base, info, mix, *rps, coll)
+		openLoop(ctx, f, base, info, mix, *rps)
 	} else {
 		var wg sync.WaitGroup
 		for i := 0; i < *workers; i++ {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				worker(ctx, id, hc, base, info, mix, coll)
+				worker(ctx, id, f, base, info, mix)
 			}(i)
 		}
 		wg.Wait()
@@ -532,6 +759,9 @@ func run(args []string, stdout io.Writer) error {
 		rep.ServerShed = snap.Shed
 		rep.ServerQueued = snap.Queued
 		rep.ServerInFlightAfterDrain = snap.InFlight
+	}
+	if traceStore != nil {
+		rep.Traces = buildTraceReport(traceStore, *traceSlowest)
 	}
 	if *benchOut != "" {
 		snap := []benchfmt.Result{
@@ -560,6 +790,29 @@ func run(args []string, stdout io.Writer) error {
 		if err := gateOverloadRun(rep, srv != nil); err != nil {
 			return fmt.Errorf("overload gate: %w", err)
 		}
+	}
+	if *gateTrace {
+		if err := gateTraceRun(rep.Traces, srv != nil); err != nil {
+			return fmt.Errorf("trace gate: %w", err)
+		}
+	}
+	return nil
+}
+
+// gateTraceRun enforces that tracing actually worked end to end: the
+// tail sampler kept at least one trace, and — when the server ran
+// in-process with its own tracer — at least one kept trace is
+// cross-process, proving the traceparent header crossed the wire and
+// the server's spans merged under the client's trace ID.
+func gateTraceRun(tr *traceReport, inProcess bool) error {
+	if tr == nil {
+		return errors.New("tracing disabled (-trace-cap 0)")
+	}
+	if tr.Kept == 0 {
+		return fmt.Errorf("no traces sampled (%d seen) — raise -trace-ratio or lower -trace-latency", tr.Seen)
+	}
+	if inProcess && tr.CrossProcess == 0 {
+		return errors.New("no cross-process trace: client and server fragments never merged")
 	}
 	return nil
 }
@@ -611,4 +864,23 @@ func writeHuman(w io.Writer, rep report) {
 	}
 	fmt.Fprintf(w, "  latency ms  mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		rep.LatencyMeanMs, rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+	if tr := rep.Traces; tr != nil {
+		fmt.Fprintf(w, "  traces  seen %d  kept %d (error %d, latency %d, ratio %d)  cross-process %d/%d\n",
+			tr.Seen, tr.Kept, tr.KeptError, tr.KeptLatency, tr.KeptRatio, tr.CrossProcess, tr.Stored)
+		for _, s := range tr.Slowest {
+			flag := ""
+			if s.Error {
+				flag = "  !"
+			}
+			fmt.Fprintf(w, "    %s  %.2fms  [%s]%s\n", s.TraceID, s.DurationMs, strings.Join(s.Services, " "), flag)
+			for _, sp := range s.Spans {
+				status := ""
+				if sp.Status != "" {
+					status = "  " + sp.Status
+				}
+				fmt.Fprintf(w, "      %-7s %-14s +%8.2fms %8.2fms%s\n",
+					sp.Service, sp.Name, sp.OffsetMs, sp.DurationMs, status)
+			}
+		}
+	}
 }

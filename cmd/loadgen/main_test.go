@@ -294,6 +294,118 @@ func TestRunMinRPSGate(t *testing.T) {
 	}
 }
 
+// TestRunTraceSmoke is the acceptance scenario `make tracesmoke`
+// drives: a faulty in-process server, retrying workers, tracing on
+// with keep-everything sampling — the run must produce sampled
+// cross-process traces whose client attempt spans and server spans
+// share one trace ID, and the retries must absorb the faults.
+func TestRunTraceSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workers", "4",
+		"-duration", "500ms",
+		"-rungs", "0",
+		"-video-sec", "20",
+		"-fault-5xx", "0.25",
+		"-fault-max-per-key", "1",
+		"-fault-seed", "7",
+		"-retries", "3",
+		"-trace-cap", "2048",
+		"-trace-ratio", "1",
+		"-trace-slowest", "3",
+		"-gate-trace",
+		"-json",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Each fault plan key relents after one 5xx, so three retries must
+	// absorb every injected fault: the chains end in goodput, not errors.
+	if rep.Errors != 0 {
+		t.Errorf("retries did not absorb the faults: %d errors", rep.Errors)
+	}
+	if got := rep.Requests + rep.Shed + rep.Errors + rep.Aborted; got != rep.Issued {
+		t.Errorf("retry chains broke accounting: issued %d but ok+shed+errors+aborted = %d", rep.Issued, got)
+	}
+
+	tr := rep.Traces
+	if tr == nil {
+		t.Fatal("report has no traces section")
+	}
+	if tr.Kept == 0 || tr.Stored == 0 {
+		t.Fatalf("keep-everything sampling kept nothing: %+v", tr)
+	}
+	if tr.KeptError == 0 {
+		t.Errorf("injected 5xx faults produced no error-verdict traces: %+v", tr)
+	}
+	if tr.CrossProcess == 0 {
+		t.Fatalf("no cross-process trace: %+v", tr)
+	}
+	if len(tr.Slowest) == 0 {
+		t.Fatal("no slowest-trace breakdowns in the report")
+	}
+	for _, s := range tr.Slowest {
+		if s.DurationMs <= 0 {
+			t.Errorf("trace %s has non-positive duration %.3f", s.TraceID, s.DurationMs)
+		}
+		var attempts, serves int
+		for _, sp := range s.Spans {
+			switch {
+			case sp.Service == "loadgen" && sp.Name == "attempt":
+				attempts++
+			case sp.Service == "server" && sp.Name == "serve_segment":
+				serves++
+			}
+		}
+		if attempts == 0 || serves == 0 {
+			t.Errorf("trace %s: %d loadgen attempts, %d server serves — not end-to-end", s.TraceID, attempts, serves)
+		}
+	}
+}
+
+// TestRunGateTraceNeedsCap pins the flag dependency: the gate cannot
+// assert anything with tracing disabled, so it must refuse to run.
+func TestRunGateTraceNeedsCap(t *testing.T) {
+	err := run([]string{"-duration", "100ms", "-gate-trace"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-trace-cap") {
+		t.Fatalf("want -trace-cap dependency error, got %v", err)
+	}
+}
+
+// gateTraceRun is the tracesmoke tripwire; each invariant must fail loudly.
+func TestGateTraceRun(t *testing.T) {
+	if err := gateTraceRun(&traceReport{Kept: 3, CrossProcess: 1}, true); err != nil {
+		t.Errorf("healthy trace report tripped the gate: %v", err)
+	}
+	// Against an external target the server half never lands in the
+	// local store, so cross-process is not required.
+	if err := gateTraceRun(&traceReport{Kept: 3}, false); err != nil {
+		t.Errorf("external-target report tripped the gate: %v", err)
+	}
+	cases := []struct {
+		name string
+		tr   *traceReport
+		want string
+	}{
+		{"disabled", nil, "disabled"},
+		{"nothing sampled", &traceReport{Seen: 100}, "no traces sampled"},
+		{"no merge", &traceReport{Kept: 5}, "cross-process"},
+	}
+	for _, c := range cases {
+		err := gateTraceRun(c.tr, true)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: want error containing %q, got %v", c.name, c.want, err)
+		}
+	}
+}
+
 func TestHumanOutput(t *testing.T) {
 	var buf bytes.Buffer
 	writeHuman(&buf, report{
@@ -306,6 +418,28 @@ func TestHumanOutput(t *testing.T) {
 	for _, want := range []string{"http://x", "workers 2", "rung mix [0 1]", "99.0 req/s", "2.50 MB/s", "p99 4.00"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("human output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	writeHuman(&buf, report{
+		URL: "http://x", Workers: 1, RungMix: []int{0}, DurationSec: 1, WallSec: 1,
+		Traces: &traceReport{
+			Seen: 10, Kept: 4, KeptError: 1, KeptLatency: 1, KeptRatio: 2,
+			Stored: 4, CrossProcess: 4,
+			Slowest: []traceSummary{{
+				TraceID: "aabb", DurationMs: 12.5, Services: []string{"loadgen", "server"}, Error: true,
+				Spans: []traceSpanLine{
+					{Service: "loadgen", Name: "request", DurationMs: 12.5},
+					{Service: "server", Name: "serve_segment", OffsetMs: 1.5, DurationMs: 9, Status: "error"},
+				},
+			}},
+		},
+	})
+	out = buf.String()
+	for _, want := range []string{"traces  seen 10  kept 4", "cross-process 4/4", "aabb  12.50ms  [loadgen server]  !", "serve_segment", "error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human trace output missing %q:\n%s", want, out)
 		}
 	}
 }

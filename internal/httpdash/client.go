@@ -13,6 +13,7 @@ import (
 	"ecavs/internal/abr"
 	"ecavs/internal/player"
 	"ecavs/internal/telemetry"
+	"ecavs/internal/tracing"
 )
 
 // Typed fetch failures.
@@ -137,6 +138,7 @@ type Client struct {
 	jitter     atomic.Uint64 // splitmix64 state for backoff jitter
 	tel        clientTelemetry
 	telReg     *telemetry.Registry
+	tracer     *tracing.Tracer // nil = tracing disabled (zero overhead)
 }
 
 // clientTelemetry mirrors the Stats resilience counters into a
@@ -266,6 +268,18 @@ func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
 			abandoned:  reg.Counter("httpdash_client_abandoned_total", "Segments abandoned after the retry budget ran out."),
 			stallSec:   reg.Gauge("httpdash_client_stall_seconds", "Cumulative virtual-playback stall time."),
 		}
+	}
+}
+
+// WithTracing records one trace per segment fetch: a root span with
+// child spans for every retry attempt, backoff sleep, breaker
+// fast-fail, and prefetch-pipeline wait, and a W3C `traceparent`
+// header on every segment request so a tracing-enabled server joins
+// the same trace. A nil tracer keeps tracing disabled at zero cost —
+// the nil-receiver contract makes every span call a no-op.
+func WithTracing(tr *tracing.Tracer) ClientOption {
+	return func(c *Client) {
+		c.tracer = tr
 	}
 }
 
@@ -455,12 +469,21 @@ func (c *Client) streamSerial(ctx context.Context, info manifestInfo) (*Stats, e
 			return stats, fmt.Errorf("httpdash: segment %d: rung %d out of range", seg, chosen)
 		}
 
+		span := c.tracer.StartRoot("fetch_segment")
+		span.SetAttrInt("segment", int64(seg))
+		span.SetAttrInt("chosen_rung", int64(chosen))
 		var fc fetchCounters
-		rung, bytes, wall, attempts, err := c.fetchWithRetry(ctx, &fc, info, seg, chosen)
+		rung, bytes, wall, attempts, err := c.fetchWithRetry(ctx, &fc, info, seg, chosen, span)
 		stats.merge(fc)
 		if err != nil {
+			span.SetError(err)
+			span.End()
 			return stats, fmt.Errorf("httpdash: segment %d: %w", seg, err)
 		}
+		span.SetAttrInt("rung", int64(rung))
+		span.SetAttrInt("bytes", bytes)
+		span.SetAttrInt("attempts", int64(attempts))
+		span.End()
 		thMbps := float64(bytes) * 8 / 1e6 / wall.Seconds()
 		c.algorithm.ObserveDownload(thMbps)
 
@@ -526,10 +549,12 @@ func (c *Client) streamPipelined(ctx context.Context, info manifestInfo) (*Stats
 		wall           time.Duration
 		err            error
 		counters       fetchCounters
+		ready          time.Time // when the fetch finished (pipeline-wait accounting)
 	}
 	type inflight struct {
 		seg, chosen int
 		ch          chan result
+		span        *tracing.Span // nil when tracing is disabled
 	}
 
 	depth := c.fetchAhead + 1
@@ -545,6 +570,8 @@ func (c *Client) streamPipelined(ctx context.Context, info manifestInfo) (*Stats
 			case f := <-pending:
 				res := <-f.ch
 				stats.merge(res.counters)
+				f.span.SetError(res.err)
+				f.span.End()
 			default:
 				return
 			}
@@ -590,10 +617,14 @@ func (c *Client) streamPipelined(ctx context.Context, info manifestInfo) (*Stats
 				return stats, fmt.Errorf("httpdash: segment %d: rung %d out of range", next, chosen)
 			}
 			f := inflight{seg: next, chosen: chosen, ch: make(chan result, 1)}
+			f.span = c.tracer.StartRoot("fetch_segment")
+			f.span.SetAttrInt("segment", int64(next))
+			f.span.SetAttrInt("chosen_rung", int64(chosen))
+			f.span.SetAttr("mode", "prefetch")
 			go func() {
 				var fc fetchCounters
-				rung, bytes, wall, attempts, err := c.fetchWithRetry(fctx, &fc, info, f.seg, f.chosen)
-				f.ch <- result{rung: rung, attempts: attempts, bytes: bytes, wall: wall, err: err, counters: fc}
+				rung, bytes, wall, attempts, err := c.fetchWithRetry(fctx, &fc, info, f.seg, f.chosen, f.span)
+				f.ch <- result{rung: rung, attempts: attempts, bytes: bytes, wall: wall, err: err, counters: fc, ready: time.Now()}
 			}()
 			pending <- f
 			prevIssued = chosen
@@ -604,8 +635,21 @@ func (c *Client) streamPipelined(ctx context.Context, info manifestInfo) (*Stats
 		res := <-f.ch
 		stats.merge(res.counters)
 		if res.err != nil {
+			f.span.SetError(res.err)
+			f.span.End()
 			drain()
 			return stats, fmt.Errorf("httpdash: segment %d: %w", f.seg, res.err)
+		}
+		// The gap between the fetch finishing and the play-head reaching
+		// it is the prefetch win; record it as a span so slow-trace
+		// breakdowns distinguish network time from pipeline idle time.
+		if f.span != nil {
+			wait := f.span.StartChildAt("pipeline_wait", res.ready)
+			wait.End()
+			f.span.SetAttrInt("rung", int64(res.rung))
+			f.span.SetAttrInt("bytes", res.bytes)
+			f.span.SetAttrInt("attempts", int64(res.attempts))
+			f.span.End()
 		}
 		thMbps := float64(res.bytes) * 8 / 1e6 / res.wall.Seconds()
 		c.algorithm.ObserveDownload(thMbps)
@@ -674,8 +718,11 @@ func finishStats(stats *Stats, weighted, brSum float64) {
 // actually fetched and the attempt count; when the budget runs out the
 // error wraps ErrSegmentAbandoned. Resilience events accumulate into
 // fc (private to this fetch — the caller folds them into Stats), while
-// telemetry counters, which are atomic, are incremented live.
-func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info manifestInfo, seg, chosen int) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
+// telemetry counters, which are atomic, are incremented live. Under a
+// non-nil span the fight leaves a trace: one child span per attempt
+// (carrying the traceparent the server joins under), backoff sleep,
+// and breaker fast-fail.
+func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info manifestInfo, seg, chosen int, span *tracing.Span) (rung int, bytes int64, wall time.Duration, attempts int, err error) {
 	rung = chosen
 	var lastErr error
 	var hint time.Duration // Retry-After or breaker cool-down, consumed by the next backoff
@@ -689,9 +736,14 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 				fc.downgrades++
 				c.tel.downgrades.Inc()
 			}
+			bo := span.StartChild("backoff")
+			bo.SetAttrDuration("hint", hint)
 			if err := c.backoff(ctx, attempt, hint); err != nil {
+				bo.SetError(err)
+				bo.End()
 				return rung, 0, 0, attempts, err
 			}
+			bo.End()
 			hint = 0
 		}
 
@@ -702,6 +754,10 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 				fc.fastFails++
 				c.tel.fastFails.Inc()
 				hint = wait
+				ff := span.StartChild("breaker_fast_fail")
+				ff.SetAttrDuration("cool_down", wait)
+				ff.SetStatus("fast_fail", "circuit open")
+				ff.End()
 				lastErr = fmt.Errorf("%w (cooling down %v)", ErrCircuitOpen, wait)
 				continue
 			}
@@ -712,8 +768,11 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 			attemptCtx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
 		}
 		url := fmt.Sprintf("%s/seg/%s/%d.m4s", c.baseURL, info.RepIDs[rung], seg)
+		att := span.StartChild("attempt")
+		att.SetAttrInt("try", int64(attempts))
+		att.SetAttrInt("rung", int64(rung))
 		start := time.Now()
-		n, ferr := c.fetchSegment(attemptCtx, url)
+		n, ferr := c.fetchSegment(attemptCtx, url, att.TraceParent())
 		elapsed := time.Since(start)
 		deadlineHit := attemptCtx.Err() != nil // read before cancel() taints it
 		cancel()
@@ -721,8 +780,12 @@ func (c *Client) fetchWithRetry(ctx context.Context, fc *fetchCounters, info man
 			if c.breaker != nil {
 				c.breaker.Record(true)
 			}
+			att.SetAttrInt("bytes", n)
+			att.End()
 			return rung, n, elapsed, attempts, nil
 		}
+		att.SetError(ferr)
+		att.End()
 		// The caller's context ending is a session cancellation, never a
 		// retryable fault — and it says nothing about the host's health,
 		// so the breaker's probe slot is released without an outcome.
@@ -880,11 +943,16 @@ func (c *Client) fetchManifestOnce(ctx context.Context) (info manifestInfo, err 
 // fetchSegment GETs one media segment, discarding the payload. A body
 // shorter than the advertised Content-Length — whether it ends in a
 // clean EOF or a torn connection — surfaces as ErrTruncated instead of
-// being silently accepted as a smaller segment.
-func (c *Client) fetchSegment(ctx context.Context, url string) (int64, error) {
+// being silently accepted as a smaller segment. A non-empty tp is sent
+// as the W3C traceparent header, so a tracing server records its half
+// of the request under the same trace ID.
+func (c *Client) fetchSegment(ctx context.Context, url, tp string) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, fmt.Errorf("build request: %w", err)
+	}
+	if tp != "" {
+		req.Header.Set(tracing.Header, tp)
 	}
 	resp, err := c.httpClient.Do(req)
 	if err != nil {

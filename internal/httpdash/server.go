@@ -24,6 +24,7 @@ import (
 	"ecavs/internal/dash"
 	"ecavs/internal/faults"
 	"ecavs/internal/telemetry"
+	"ecavs/internal/tracing"
 )
 
 // chunkSize is the body-write granularity: pacing, byte accounting,
@@ -87,6 +88,10 @@ type Server struct {
 	// connections, so aggregate egress — not per-connection egress —
 	// honours the configured rate.
 	pacer pacer
+
+	// tracer records per-request spans (nil = tracing disabled; the
+	// serving path pays one branch and zero allocations).
+	tracer *tracing.Tracer
 }
 
 // rungCounters is one rung's atomic traffic counters.
@@ -187,6 +192,21 @@ func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
 			"Requests currently being served (sampled at scrape time).", func() float64 {
 				return float64(s.gate.inFlight())
 			})
+	}
+}
+
+// WithServerTracing records one span tree per segment request: a root
+// span that joins the caller's trace when the request carries a W3C
+// `traceparent` header (and starts a fresh trace otherwise), with
+// child spans for admission-queue wait, injected fault latency/stalls,
+// and the chunked body write — the write span carries the bytes
+// written and the time spent waiting on the shared pacing bucket. Shed
+// and fault outcomes are recorded as span statuses, so the tail
+// sampler always keeps them. A nil tracer keeps tracing disabled at
+// zero cost on the serving path.
+func WithServerTracing(tr *tracing.Tracer) ServerOption {
+	return func(s *Server) {
+		s.tracer = tr
 	}
 }
 
@@ -452,20 +472,41 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 	}
 	size := s.segBytes[rung][n]
 
+	// Tracing starts only once the path parsed to a real segment: a
+	// `traceparent` header joins the caller's trace, its absence starts
+	// a fresh one. The deferred End publishes the fragment on every
+	// exit, including the panics the Reset/Truncate faults use.
+	var span *tracing.Span
+	if s.tracer != nil {
+		span = s.tracer.StartRemote("serve_segment", r.Header.Get(tracing.Header))
+		span.SetAttr("rep", repID)
+		span.SetAttrInt("segment", int64(n))
+		span.SetAttrInt("rung", int64(rung))
+		defer span.End()
+	}
+
 	// Admission: acquire an in-flight slot (possibly waiting in the
 	// bounded FIFO queue) or shed the request with 503 + Retry-After.
 	// Malformed URLs never reach this point, so shedding is accounted
 	// per real rung and the accepted+shed == issued invariant holds.
 	if a := s.admission; a != nil {
+		asp := span.StartChild("admission")
 		switch a.admit(r, rung, len(s.repIDs)) {
 		case shed:
+			asp.SetStatus("shed", "queue full or wait budget exceeded")
+			asp.End()
+			span.SetStatus("shed", "admission control")
 			s.rungStats[rung].shed.Add(1)
 			s.telShed[rung].Inc()
 			shedResponse(w, a.cfg.RetryAfter)
 			return
 		case gone:
+			asp.SetStatus("cancelled", "client left the queue")
+			asp.End()
+			span.SetStatus("cancelled", "client left while queued")
 			return // client left while queued; nothing to answer
 		}
+		asp.End()
 		defer a.release()
 	}
 
@@ -489,12 +530,22 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 	}
 	switch verdict.Kind {
 	case faults.Error5xx:
+		span.SetStatus("error", "injected 5xx fault")
+		span.SetAttrInt("http_status", int64(verdict.Status))
 		http.Error(w, "injected fault", verdict.Status)
 		return
 	case faults.Reset:
+		// The deferred span.End() runs while this panic unwinds, so the
+		// torn connection still leaves a trace.
+		span.SetStatus("error", "injected connection reset")
 		panic(http.ErrAbortHandler) // tear the connection down
 	case faults.Latency:
-		if !sleepOrGone(r, verdict.Latency) {
+		lsp := span.StartChild("fault_latency")
+		lsp.SetAttrDuration("delay", verdict.Latency)
+		ok := sleepOrGone(r, verdict.Latency)
+		lsp.End()
+		if !ok {
+			span.SetStatus("cancelled", "client gone during injected latency")
 			return
 		}
 	case faults.Truncate:
@@ -507,7 +558,8 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 		h := w.Header()
 		h.Set("Content-Type", "video/iso.segment")
 		h.Set("Content-Length", s.segCL[rung][n])
-		s.writeBody(w, r, rung, cut, 0)
+		span.SetStatus("error", "injected truncation")
+		s.writeBody(w, r, rung, cut, 0, span)
 		panic(http.ErrAbortHandler)
 	}
 
@@ -522,7 +574,7 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 	if verdict.Kind == faults.Stall {
 		stall = verdict.Stall
 	}
-	s.writeBody(w, r, rung, size, stall)
+	s.writeBody(w, r, rung, size, stall, span)
 }
 
 // writeBody streams size synthetic bytes for one rung from a pooled,
@@ -533,11 +585,28 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 // by every connection, so aggregate egress honours the limit. A
 // positive stall hangs the response before the first body byte — the
 // client sits blocked on the transfer until its per-attempt deadline
-// fires (or the stall ends).
-func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size int, stall time.Duration) {
-	if stall > 0 && !sleepOrGone(r, stall) {
-		return
+// fires (or the stall ends). Under a non-nil span the stall becomes a
+// child span and the write gets one carrying the bytes sent and the
+// cumulative time spent waiting on the pacing bucket; that extra
+// timing only runs when the span exists, so disabled tracing leaves
+// the chunk loop untouched.
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size int, stall time.Duration, span *tracing.Span) {
+	if stall > 0 {
+		ssp := span.StartChild("fault_stall")
+		ssp.SetAttrDuration("stall", stall)
+		ok := sleepOrGone(r, stall)
+		ssp.End()
+		if !ok {
+			span.SetStatus("cancelled", "client gone during injected stall")
+			return
+		}
 	}
+	var wsp *tracing.Span
+	var paceWait time.Duration
+	if span != nil {
+		wsp = span.StartChild("write")
+	}
+	written := 0
 	bp := chunkPool.Get().(*[]byte)
 	defer chunkPool.Put(bp)
 	buf := *bp
@@ -548,17 +617,44 @@ func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, rung, size in
 			n = remaining
 		}
 		if _, err := w.Write(buf[:n]); err != nil {
+			finishWriteSpan(wsp, written, paceWait, "client gone mid-write")
 			return // client went away
 		}
+		written += n
 		remaining -= n
 		s.rungStats[rung].bytes.Add(int64(n))
 		s.telBytes[rung].Add(int64(n))
 		if rate := s.rateMBps(); rate > 0 {
-			if !s.pacer.reserve(r, n, rate) {
-				return
+			if wsp == nil {
+				if !s.pacer.reserve(r, n, rate) {
+					return
+				}
+			} else {
+				t0 := time.Now()
+				ok := s.pacer.reserve(r, n, rate)
+				paceWait += time.Since(t0)
+				if !ok {
+					finishWriteSpan(wsp, written, paceWait, "client gone during pacing")
+					return
+				}
 			}
 		}
 	}
+	finishWriteSpan(wsp, written, paceWait, "")
+}
+
+// finishWriteSpan stamps a write span's payload accounting; a non-empty
+// reason marks the write cut short by the client going away.
+func finishWriteSpan(wsp *tracing.Span, written int, paceWait time.Duration, reason string) {
+	if wsp == nil {
+		return
+	}
+	wsp.SetAttrInt("bytes", int64(written))
+	wsp.SetAttrDuration("pace_wait", paceWait)
+	if reason != "" {
+		wsp.SetStatus("cancelled", reason)
+	}
+	wsp.End()
 }
 
 // SegmentURL renders the media URL for (rung, segment) the way the MPD

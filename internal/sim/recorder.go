@@ -3,6 +3,7 @@ package sim
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -123,7 +124,10 @@ func (r *DecisionRecorder) Events() []DecisionEvent {
 
 // WriteNDJSON emits the held events oldest-first as newline-delimited
 // JSON — one decision per line, the format offline analysis tooling
-// (jq, a dataframe loader) ingests directly.
+// (jq, a dataframe loader) ingests directly. A write failure surfaces
+// immediately, wrapped with the segment whose line was lost, so a full
+// disk or closed pipe aborts the export instead of silently truncating
+// the trace.
 func (r *DecisionRecorder) WriteNDJSON(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -131,7 +135,7 @@ func (r *DecisionRecorder) WriteNDJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, ev := range r.Events() {
 		if err := enc.Encode(ev); err != nil {
-			return err
+			return fmt.Errorf("sim: write decision trace at segment %d: %w", ev.Segment, err)
 		}
 	}
 	return nil

@@ -3,6 +3,8 @@ package sim
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -64,6 +66,52 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	}
 	if err := r.WriteNDJSON(&strings.Builder{}); err != nil {
 		t.Errorf("nil recorder NDJSON: %v", err)
+	}
+}
+
+// failAfterWriter accepts n writes, then fails every subsequent one —
+// a full disk or closed pipe mid-export.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestNDJSONWriteFailure pins the export error contract: a failing
+// writer aborts WriteNDJSON immediately with a wrapped error that
+// names the package, keeps the cause inspectable with errors.Is, and
+// identifies the segment whose line was lost.
+func TestNDJSONWriteFailure(t *testing.T) {
+	rec, err := NewDecisionRecorder(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rec.Record(DecisionEvent{Segment: i})
+	}
+
+	cause := errors.New("disk full")
+	for _, failAt := range []int{0, 2} {
+		werr := rec.WriteNDJSON(&failAfterWriter{n: failAt, err: cause})
+		if werr == nil {
+			t.Fatalf("writer failing at line %d: WriteNDJSON returned nil", failAt)
+		}
+		if !errors.Is(werr, cause) {
+			t.Errorf("cause not wrapped: %v", werr)
+		}
+		if !strings.Contains(werr.Error(), "sim: write decision trace") {
+			t.Errorf("error lacks package context: %v", werr)
+		}
+		if want := fmt.Sprintf("segment %d", failAt); !strings.Contains(werr.Error(), want) {
+			t.Errorf("error %v does not identify %s", werr, want)
+		}
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+
+	"ecavs/internal/tracing"
 )
 
 // formatFloat renders a sample value the way Prometheus expects:
@@ -44,8 +46,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.series {
 			label := ""
-			if f.labelKey != "" {
+			switch {
+			case f.labelKey != "":
 				label = fmt.Sprintf(`{%s="%s"}`, f.labelKey, escapeLabel(s.labelValue))
+			case s.constLabels != "":
+				label = "{" + s.constLabels + "}"
 			}
 			switch {
 			case s.counter != nil:
@@ -111,8 +116,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		jf := jsonFamily{Name: f.name, Help: f.help, Type: string(f.kind), Series: []jsonSeries{}}
 		for _, s := range f.series {
 			js := jsonSeries{}
-			if f.labelKey != "" {
+			switch {
+			case f.labelKey != "":
 				js.Labels = map[string]string{f.labelKey: s.labelValue}
+			case s.labelMap != nil:
+				js.Labels = s.labelMap
 			}
 			switch {
 			case s.counter != nil:
@@ -136,10 +144,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // Handler returns the telemetry endpoint mux:
 //
-//	/metrics        Prometheus text exposition
-//	/metrics.json   JSON exposition
-//	/debug/pprof/*  CPU, heap, goroutine, ... profiles
-//	/debug/vars     expvar (Go runtime memstats, cmdline)
+//	/metrics              Prometheus text exposition
+//	/metrics.json         JSON exposition
+//	/debug/pprof/*        CPU, heap, goroutine, ... profiles
+//	/debug/vars           expvar (Go runtime memstats, cmdline)
+//	/debug/traces         merged trace list (with AttachTraces)
+//	/debug/traces/<id>    one merged trace, all spans
+//	/debug/traces.ndjson  NDJSON trace export
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -156,14 +167,21 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	if ex := tracing.NewExplorer(r.traceStore()); ex != nil {
+		mux.Handle("/debug/traces", ex)
+		mux.Handle("/debug/traces/", ex)
+		mux.Handle("/debug/traces.ndjson", ex)
+	}
 	return mux
 }
 
 // Serve starts the telemetry endpoint on addr in a background
 // goroutine and returns the server (shut it down when done) and the
 // bound address (useful with ":0"). The listener is up when Serve
-// returns, so a scrape immediately after cannot race the bind.
+// returns, so a scrape immediately after cannot race the bind. The
+// standard process-identity series are registered on the way.
 func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	RegisterProcessMetrics(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)

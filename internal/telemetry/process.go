@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"ecavs/internal/tracing"
+)
+
+// processStart is captured at package init, which is as close to
+// process start as a library can observe.
+var processStart = time.Now()
+
+// RegisterProcessMetrics adds the standard process-identity series:
+//
+//	process_start_time_seconds                 Unix time the process started
+//	go_build_info{version,vcs_revision}        constant 1 carrying build identity
+//
+// Serve calls this automatically; call it directly when exposing a
+// Handler through some other server. A nil registry is a no-op, and
+// re-registration is idempotent.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := float64(processStart.UnixNano()) / 1e9
+	r.GaugeFunc("process_start_time_seconds",
+		"Unix time the process started, in seconds.", func() float64 { return start })
+	version, revision := buildIdentity()
+	r.Info("go_build_info", "Go toolchain and VCS identity of this binary.",
+		map[string]string{"version": version, "vcs_revision": revision})
+}
+
+// buildIdentity reads the toolchain version and VCS revision baked into
+// the binary; test binaries and non-VCS builds report "unknown".
+func buildIdentity() (version, revision string) {
+	version = runtime.Version()
+	revision = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	return version, revision
+}
+
+// AttachTraces wires a trace store into the registry: Handler gains
+// the /debug/traces explorer (list, per-trace detail, NDJSON export)
+// and the registry gains scrape-time gauges over the store's tail
+// sampling:
+//
+//	tracing_fragments_seen     fragments offered to the sampler
+//	tracing_fragments_kept     fragments retained (any verdict)
+//	tracing_fragments_dropped  fragments the sampler discarded
+//	tracing_store_held         fragments currently in the ring
+//
+// Nil registry or nil store is a no-op.
+func (r *Registry) AttachTraces(store *tracing.Store) {
+	if r == nil || store == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traces = store
+	r.mu.Unlock()
+	r.GaugeFunc("tracing_fragments_seen",
+		"Completed trace fragments offered to the tail sampler.",
+		func() float64 { return float64(store.Stats().Seen) })
+	r.GaugeFunc("tracing_fragments_kept",
+		"Trace fragments retained by the tail sampler.",
+		func() float64 { return float64(store.Stats().Kept) })
+	r.GaugeFunc("tracing_fragments_dropped",
+		"Trace fragments discarded by the tail sampler.",
+		func() float64 { return float64(store.Stats().Dropped) })
+	r.GaugeFunc("tracing_store_held",
+		"Trace fragments currently held in the ring buffer.",
+		func() float64 { return float64(store.Len()) })
+}
+
+// traceStore reads the attached store (nil when none).
+func (r *Registry) traceStore() *tracing.Store {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traces
+}

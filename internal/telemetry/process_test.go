@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecavs/internal/tracing"
+)
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterProcessMetrics(r) // idempotent
+	RegisterProcessMetrics(nil)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	m := regexp.MustCompile(`(?m)^process_start_time_seconds (\S+)$`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("process_start_time_seconds missing:\n%s", out)
+	}
+	var start float64
+	if err := json.Unmarshal([]byte(m[1]), &start); err != nil {
+		t.Fatalf("unparseable start time %q", m[1])
+	}
+	now := float64(time.Now().Unix()) + 1
+	if start <= 0 || start > now || now-start > 3600 {
+		t.Fatalf("start time %v implausible (now %v)", start, now)
+	}
+
+	bi := regexp.MustCompile(`(?m)^go_build_info\{(.+)\} 1$`).FindStringSubmatch(out)
+	if bi == nil {
+		t.Fatalf("go_build_info missing or not constant 1:\n%s", out)
+	}
+	if !strings.Contains(bi[1], `version="go`) || !strings.Contains(bi[1], `vcs_revision="`) {
+		t.Fatalf("go_build_info labels incomplete: %s", bi[1])
+	}
+
+	// JSON exposition carries the same labels as a map.
+	var sj strings.Builder
+	if err := r.WriteJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sj.String()), &fams); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "go_build_info" {
+			found = true
+			if f.Series[0].Value != 1 || f.Series[0].Labels["version"] == "" || f.Series[0].Labels["vcs_revision"] == "" {
+				t.Fatalf("go_build_info JSON series malformed: %+v", f.Series[0])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("go_build_info missing from JSON exposition")
+	}
+}
+
+// TestAttachTraces checks the handler grows the /debug/traces surface
+// and the sampling gauges once a store is attached — and 404s without.
+func TestAttachTraces(t *testing.T) {
+	bare := httptest.NewServer(NewRegistry().Handler())
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces without a store: %d, want 404", resp.StatusCode)
+	}
+
+	store := tracing.NewStore(8)
+	tr := tracing.New(tracing.Config{Service: "svc", Sampler: tracing.Sampler{Ratio: 1}, Seed: 1}, store)
+	sp := tr.StartRoot("op")
+	sp.End()
+
+	r := NewRegistry()
+	r.AttachTraces(store)
+	r.AttachTraces(nil) // no-op, must not clear or panic
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err = http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"traces"`) {
+		t.Fatalf("/debug/traces = %d:\n%s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	resp.Body.Close()
+	for _, want := range []string{"tracing_fragments_seen 1", "tracing_fragments_kept 1", "tracing_store_held 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentScrapes hammers /metrics and /metrics.json while
+// counters, gauges, histograms, and new series are being written —
+// run under -race, this pins the exposition path as data-race free.
+func TestConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: hot-path increments plus registration churn.
+	c := r.Counter("scrape_test_total", "writes under scrape")
+	g := r.Gauge("scrape_test_gauge", "gauge under scrape")
+	h := r.Histogram("scrape_test_seconds", "histogram under scrape", DefLatencyBuckets())
+	vec := r.CounterVec("scrape_test_rung_total", "labeled writes under scrape", "rung")
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(0.5)
+				h.Observe(float64(i%10) / 100)
+				vec.With([]string{"0", "1", "2"}[i%3]).Inc()
+				if i%50 == 0 {
+					// Registration is part of the concurrent surface too.
+					r.Counter("scrape_test_total", "writes under scrape").Inc()
+				}
+				i++
+			}
+		}(w)
+	}
+
+	// Scrapers: both expositions, continuously.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body := readAll(t, resp)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || !strings.Contains(body, "scrape_test_total") {
+					t.Errorf("scrape %s = %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}([]string{"/metrics", "/metrics.json"}[s])
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 {
+		t.Fatal("writers made no progress")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ecavs/internal/tracing"
 )
 
 // Counter is a monotonically increasing value. The zero value is ready
@@ -164,13 +166,17 @@ const (
 )
 
 // series is one sample stream inside a family: an optional label value
-// plus exactly one backing metric.
+// plus exactly one backing metric. Info-style series instead carry a
+// constant multi-label set, prerendered for the text exposition and
+// kept as a map for the JSON one.
 type series struct {
-	labelValue string
-	counter    *Counter
-	gauge      *Gauge
-	gaugeFn    func() float64
-	hist       *Histogram
+	labelValue  string
+	constLabels string            // prerendered `k="v",k2="v2"`, info series only
+	labelMap    map[string]string // the same labels, for JSON exposition
+	counter     *Counter
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
 }
 
 // family is one named metric with HELP/TYPE metadata and one or more
@@ -191,6 +197,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	traces   *tracing.Store // set by AttachTraces; nil = no explorer
 }
 
 // NewRegistry returns an empty registry.
@@ -302,6 +309,47 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		}
 		s.hist = h
 	}).hist
+}
+
+// Info registers an info-style gauge: a constant 1 whose payload is
+// its label set (the Prometheus build-info idiom — `go_build_info
+// {version="go1.22",vcs_revision="abc"} 1`). Unlike the Vec types an
+// info series carries several constant labels at once; re-registering
+// the same name replaces nothing and keeps the first label set.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validName(k) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb []byte
+	lm := make(map[string]string, len(labels))
+	for i, k := range keys {
+		if i > 0 {
+			sb = append(sb, ',')
+		}
+		sb = append(sb, k...)
+		sb = append(sb, '=', '"')
+		sb = append(sb, escapeLabel(labels[k])...)
+		sb = append(sb, '"')
+		lm[k] = labels[k]
+	}
+	f := r.lookup(name, help, kindGauge, "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.seriesFor("", func(s *series) {
+		s.constLabels = string(sb)
+		s.labelMap = lm
+		g := &Gauge{}
+		g.Set(1)
+		s.gauge = g
+	})
 }
 
 // CounterVec is a counter family keyed by one label.

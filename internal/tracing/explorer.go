@@ -1,0 +1,112 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Explorer serves the store's contents for humans and tools:
+//
+//	GET /debug/traces            JSON: sampling stats + merged trace list
+//	                             (?limit=N caps the list, ?spans=1 inlines spans)
+//	GET /debug/traces/<traceid>  JSON: one merged trace with all spans
+//	GET /debug/traces.ndjson     one merged trace per line, for offline analysis
+//
+// Mount it under telemetry.Handler via Registry.AttachTraces, or serve
+// it directly.
+type Explorer struct {
+	store *Store
+}
+
+// NewExplorer returns an Explorer over the given store (nil store →
+// nil Explorer, whose ServeHTTP 404s).
+func NewExplorer(store *Store) *Explorer {
+	if store == nil {
+		return nil
+	}
+	return &Explorer{store: store}
+}
+
+// listResponse is the /debug/traces payload.
+type listResponse struct {
+	Stats  StoreStats  `json:"stats"`
+	Held   int         `json:"held_fragments"`
+	Traces []TraceView `json:"traces"`
+}
+
+func (e *Explorer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if e == nil || e.store == nil {
+		http.NotFound(w, r)
+		return
+	}
+	path := r.URL.Path
+	switch {
+	case strings.HasSuffix(path, ".ndjson"):
+		e.serveNDJSON(w)
+	case strings.HasSuffix(path, "/traces") || strings.HasSuffix(path, "/traces/"):
+		e.serveList(w, r)
+	default:
+		// Trailing path element is a trace ID.
+		id, ok := parseTraceID(path[strings.LastIndexByte(path, '/')+1:])
+		if !ok {
+			http.Error(w, "tracing: bad trace id", http.StatusBadRequest)
+			return
+		}
+		v, found := e.store.View(id)
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+}
+
+func (e *Explorer) serveList(w http.ResponseWriter, r *http.Request) {
+	views := e.store.Views()
+	limit := len(views)
+	if s := r.URL.Query().Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < limit {
+			limit = n
+		}
+	}
+	withSpans := r.URL.Query().Get("spans") == "1"
+	views = views[:limit]
+	if !withSpans {
+		for i := range views {
+			views[i].Spans = nil
+		}
+	}
+	resp := listResponse{Stats: e.store.Stats(), Held: e.store.Len(), Traces: views}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (e *Explorer) serveNDJSON(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, v := range e.store.Views() {
+		if enc.Encode(v) != nil {
+			return
+		}
+	}
+}
+
+// parseTraceID decodes a 32-hex-char trace ID.
+func parseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
