@@ -1,13 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build vet test test-short race chaos obs loadtest overload tracesmoke vuln bench bench-diff benchsmoke experiments examples cover
+.PHONY: all check build vet test test-short race chaos obs loadtest overload tracesmoke edgesmoke vuln bench bench-diff benchsmoke experiments examples cover
 
 all: build vet test
 
 # check is the CI gate: build, vet, tests, the race detector, the
 # observability suite, a load-generator smoke run, the overload
-# shed-path smoke, and the request-tracing smoke.
-check: build vet test race obs loadtest overload tracesmoke
+# shed-path smoke, the request-tracing smoke, and the edge-cache smoke.
+check: build vet test race obs loadtest overload tracesmoke edgesmoke
 
 build:
 	go build ./...
@@ -32,6 +32,7 @@ chaos:
 	go test -race -count=1 ./internal/faults/
 	go test -race -count=1 -run 'Chaos|Outage|Truncated|Cancellation' ./internal/httpdash/ ./internal/netsim/ ./internal/sim/ ./internal/campaign/
 	go test -race -count=1 -run 'Overload|Admission|Breaker|Shutdown|Panic' ./cmd/loadgen/ ./internal/httpdash/ ./internal/pool/
+	go test -race -count=1 -run 'Edge|Stale|Singleflight' ./internal/edgecache/ ./internal/httpdash/
 
 # obs exercises the telemetry layer end to end under the race detector:
 # registry/exposition correctness and concurrency in internal/telemetry,
@@ -68,6 +69,18 @@ overload:
 # header survived the wire.
 tracesmoke:
 	go run ./cmd/loadgen -workers 4 -duration 2s -fault-5xx 0.25 -fault-max-per-key 1 -retries 3 -rungs 0 -trace-cap 2048 -trace-ratio 1 -trace-slowest 3 -json -gate-trace
+
+# edgesmoke smokes the caching edge tier end to end: loadgen offers
+# 300 req/s for 2s through an in-process edge proxy fronting an
+# in-process origin, cycling one rung of a 10-segment presentation, so
+# after the 10 cold fills everything is a cache hit. -gate-hit-ratio
+# fails the run unless the hit ratio reaches 90% and every edge request
+# resolved to exactly one of hit/fill/stale/error; -gate-trace (keep-
+# everything sampling) additionally requires one sampled miss whose
+# loadgen, edge, and server fragments merged into a single three-
+# service trace — proof the traceparent header survived both hops.
+edgesmoke:
+	go run ./cmd/loadgen -edge -rps 300 -duration 2s -video-sec 20 -rungs 0 -gate-hit-ratio 0.9 -trace-cap 4096 -trace-ratio 1 -json -gate-trace
 
 # vuln scans the module against the Go vulnerability database. The
 # scanner is optional locally (it needs a network fetch to install);

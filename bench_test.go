@@ -194,12 +194,12 @@ func BenchmarkSessionAllocs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := sim.TraceSession{
-			Trace:       tr,
-			Manifest:    man,
-			Algorithm:   abr.NewFESTIVE(),
-			Power:       pm,
-			QoE:         qm,
-			MetricsOnly: true,
+			Trace:         tr,
+			SessionParams: sim.SessionParams{MetricsOnly: true},
+			Manifest:      man,
+			Algorithm:     abr.NewFESTIVE(),
+			Power:         pm,
+			QoE:           qm,
 		}.Run()
 		if err != nil {
 			b.Fatal(err)
@@ -229,13 +229,12 @@ func TestSessionAllocsTelemetryDisabled(t *testing.T) {
 	pm, qm := power.EvalModel(), qoe.Default()
 	session := func(rec *sim.DecisionRecorder) *sim.Metrics {
 		m, err := sim.TraceSession{
-			Trace:       tr,
-			Manifest:    man,
-			Algorithm:   abr.NewFESTIVE(),
-			Power:       pm,
-			QoE:         qm,
-			MetricsOnly: true,
-			Recorder:    rec,
+			Trace:         tr,
+			SessionParams: sim.SessionParams{MetricsOnly: true, Recorder: rec},
+			Manifest:      man,
+			Algorithm:     abr.NewFESTIVE(),
+			Power:         pm,
+			QoE:           qm,
 		}.Run()
 		if err != nil {
 			t.Fatal(err)

@@ -50,6 +50,18 @@
 //
 //	loadgen -duration 2s -fault-5xx 0.25 -retries 3 -trace-cap 2048 \
 //	        -trace-ratio 1 -gate-trace
+//
+// -edge inserts a caching reverse proxy (httpdash.NewEdge) between the
+// workers and the origin: requests hit the edge, repeated segments are
+// served from its sharded in-memory cache, and the report gains an
+// edge section — hit ratio, stale serves, and origin offload (the
+// fraction of edge requests the origin never saw). -gate-hit-ratio
+// turns the cache into a CI gate, and with tracing on, a miss shows up
+// as one merged loadgen → edge → server trace (-gate-trace then also
+// requires one three-service trace). `make edgesmoke` drives:
+//
+//	loadgen -edge -workers 8 -duration 2s -video-sec 20 -rungs 0 \
+//	        -gate-hit-ratio 0.9 -trace-cap 1024 -trace-ratio 1 -gate-trace
 package main
 
 import (
@@ -70,6 +82,7 @@ import (
 
 	"ecavs/internal/benchfmt"
 	"ecavs/internal/dash"
+	"ecavs/internal/edgecache"
 	"ecavs/internal/faults"
 	"ecavs/internal/httpdash"
 	"ecavs/internal/stats"
@@ -123,6 +136,54 @@ type report struct {
 	// Traces summarises the run's sampled request traces; nil unless
 	// -trace-cap enabled tracing.
 	Traces *traceReport `json:"traces,omitempty"`
+	// Edge summarises the caching tier; nil unless -edge ran one.
+	Edge *edgeReport `json:"edge,omitempty"`
+}
+
+// edgeReport is the edge-cache section of the run report: the edge's
+// request accounting plus the two derived figures a capacity review
+// reads first — hit ratio and origin offload.
+type edgeReport struct {
+	Requests    int64 `json:"requests"`
+	Hits        int64 `json:"hits"`
+	Fills       int64 `json:"fills"`
+	StaleServes int64 `json:"stale_serves"`
+	Errors      int64 `json:"errors"`
+	SharedFills int64 `json:"shared_fills"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int64 `json:"entries"`
+	CacheBytes  int64 `json:"cache_bytes"`
+	// HitRatio is (hits + stale serves) / requests — traffic served
+	// without a successful origin round trip of its own.
+	HitRatio float64 `json:"hit_ratio"`
+	// OriginRequests is what the in-process origin actually saw; -1
+	// when the origin was external and unobservable.
+	OriginRequests int64 `json:"origin_requests"`
+	// OriginOffload is 1 - origin/edge requests (only with an
+	// in-process origin): the fraction of traffic the cache absorbed.
+	OriginOffload float64 `json:"origin_offload"`
+}
+
+// buildEdgeReport derives the report section from the edge snapshot
+// and — when the origin ran in-process — its request counter.
+func buildEdgeReport(snap httpdash.EdgeSnapshot, originRequests int64) *edgeReport {
+	er := &edgeReport{
+		Requests:       snap.Requests,
+		Hits:           snap.Hits,
+		Fills:          snap.Fills,
+		StaleServes:    snap.StaleServes,
+		Errors:         snap.Errors,
+		SharedFills:    snap.SharedFills,
+		Evictions:      snap.Cache.Evictions,
+		Entries:        snap.Cache.Entries,
+		CacheBytes:     snap.Cache.Bytes,
+		HitRatio:       snap.HitRatio(),
+		OriginRequests: originRequests,
+	}
+	if originRequests >= 0 && snap.Requests > 0 {
+		er.OriginOffload = 1 - float64(originRequests)/float64(snap.Requests)
+	}
+	return er
 }
 
 // traceReport is the tracing section of the run report: the tail
@@ -139,8 +200,12 @@ type traceReport struct {
 	// CrossProcess counts stored traces carrying spans from more than
 	// one service — proof the traceparent header crossed the wire and
 	// the server joined the client's trace.
-	CrossProcess int            `json:"cross_process"`
-	Slowest      []traceSummary `json:"slowest,omitempty"`
+	CrossProcess int `json:"cross_process"`
+	// ThreeWay counts stored traces spanning three or more services —
+	// in edge mode, a miss that merged loadgen, edge, and server
+	// fragments under one trace ID.
+	ThreeWay int            `json:"three_way,omitempty"`
+	Slowest  []traceSummary `json:"slowest,omitempty"`
 }
 
 // traceSummary is one merged trace in the report, spans flattened to
@@ -179,6 +244,9 @@ func buildTraceReport(store *tracing.Store, slowest int) *traceReport {
 	for _, v := range views {
 		if len(v.Services) >= 2 {
 			tr.CrossProcess++
+		}
+		if len(v.Services) >= 3 {
+			tr.ThreeWay++
 		}
 	}
 	sort.SliceStable(views, func(i, j int) bool { return views[i].DurationMs > views[j].DurationMs })
@@ -600,6 +668,12 @@ func run(args []string, stdout io.Writer) error {
 	queueWait := fs.Duration("queue-wait", 100*time.Millisecond, "in-process server admission queue deadline")
 	priorityShed := fs.Bool("priority-shed", false, "in-process server sheds top ladder rungs first under pressure")
 	retries := fs.Int("retries", 0, "retries per request on 5xx or transport error (0 = none)")
+	edgeMode := fs.Bool("edge", false, "front the origin with a caching edge proxy; workers hit the edge")
+	edgeCapacity := fs.Int64("edge-capacity", httpdash.DefaultEdgeCapacityBytes, "edge cache byte budget")
+	edgeShards := fs.Int("edge-shards", edgecache.DefaultShards, "edge cache shard count (power of two)")
+	edgeFresh := fs.Duration("edge-fresh", httpdash.DefaultEdgeFreshFor, "edge freshness window: younger entries skip origin revalidation")
+	edgeStale := fs.Duration("edge-stale", httpdash.DefaultEdgeStaleFor, "edge staleness window: how far past fresh an entry may still cover an origin failure")
+	gateHitRatio := fs.Float64("gate-hit-ratio", 0, "exit non-zero unless the edge hit ratio reaches this and edge accounting balances (needs -edge)")
 	traceCap := fs.Int("trace-cap", 0, "trace ring capacity; 0 disables request tracing")
 	traceRatio := fs.Float64("trace-ratio", 0.01, "tail-sampling keep ratio for healthy traces")
 	traceLatency := fs.Duration("trace-latency", 250*time.Millisecond, "tail-sampling latency threshold; slower traces are always kept")
@@ -627,6 +701,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *gateTrace && *traceCap <= 0 {
 		return errors.New("-gate-trace needs -trace-cap > 0 to sample traces")
+	}
+	if *gateHitRatio > 0 && !*edgeMode {
+		return errors.New("-gate-hit-ratio needs -edge")
 	}
 
 	var reg *telemetry.Registry
@@ -690,6 +767,38 @@ func run(args []string, stdout io.Writer) error {
 		hs := &http.Server{Handler: srv}
 		go func() { _ = hs.Serve(ln) }()
 		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	// -edge slots the caching proxy between the workers and whatever
+	// base points at (the in-process origin or an external -url): the
+	// edge listens on its own loopback socket and base moves to it, so
+	// every worker request flows through the cache.
+	var edge *httpdash.Edge
+	if *edgeMode {
+		edgeOpts := []httpdash.EdgeOption{
+			httpdash.WithEdgeCache(edgecache.Config{CapacityBytes: *edgeCapacity, Shards: *edgeShards}),
+			httpdash.WithEdgeFreshness(*edgeFresh, *edgeStale),
+		}
+		if reg != nil {
+			edgeOpts = append(edgeOpts, httpdash.WithEdgeTelemetry(reg))
+		}
+		if traceStore != nil {
+			edgeTracer := tracing.New(tracing.Config{Service: "edge", Sampler: sampler, Seed: 3}, traceStore)
+			edgeOpts = append(edgeOpts, httpdash.WithEdgeTracing(edgeTracer))
+		}
+		var err error
+		edge, err = httpdash.NewEdge(base, edgeOpts...)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		es := &http.Server{Handler: edge}
+		go func() { _ = es.Serve(ln) }()
+		defer es.Close()
 		base = "http://" + ln.Addr().String()
 	}
 
@@ -760,6 +869,13 @@ func run(args []string, stdout io.Writer) error {
 		rep.ServerQueued = snap.Queued
 		rep.ServerInFlightAfterDrain = snap.InFlight
 	}
+	if edge != nil {
+		originRequests := int64(-1) // external origin: unobservable
+		if srv != nil {
+			originRequests = srv.Snapshot().Requests
+		}
+		rep.Edge = buildEdgeReport(edge.Snapshot(), originRequests)
+	}
 	if traceStore != nil {
 		rep.Traces = buildTraceReport(traceStore, *traceSlowest)
 	}
@@ -792,9 +908,30 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if *gateTrace {
-		if err := gateTraceRun(rep.Traces, srv != nil); err != nil {
+		if err := gateTraceRun(rep.Traces, srv != nil, edge != nil); err != nil {
 			return fmt.Errorf("trace gate: %w", err)
 		}
+	}
+	if *gateHitRatio > 0 {
+		if err := gateEdgeRun(rep.Edge, *gateHitRatio); err != nil {
+			return fmt.Errorf("edge gate: %w", err)
+		}
+	}
+	return nil
+}
+
+// gateEdgeRun enforces the edge invariants on a finished run: the hit
+// ratio reached the bar, and every edge request resolved to exactly
+// one of hit, fill, stale serve, or error.
+func gateEdgeRun(er *edgeReport, minRatio float64) error {
+	if er == nil {
+		return errors.New("no edge ran (-edge not set)")
+	}
+	if got := er.Hits + er.Fills + er.StaleServes + er.Errors; got != er.Requests {
+		return fmt.Errorf("accounting leak: %d requests but hits+fills+stale+errors = %d", er.Requests, got)
+	}
+	if er.HitRatio < minRatio {
+		return fmt.Errorf("hit ratio %.3f below %.3f (%d hits / %d requests)", er.HitRatio, minRatio, er.Hits, er.Requests)
 	}
 	return nil
 }
@@ -803,8 +940,10 @@ func run(args []string, stdout io.Writer) error {
 // tail sampler kept at least one trace, and — when the server ran
 // in-process with its own tracer — at least one kept trace is
 // cross-process, proving the traceparent header crossed the wire and
-// the server's spans merged under the client's trace ID.
-func gateTraceRun(tr *traceReport, inProcess bool) error {
+// the server's spans merged under the client's trace ID. In edge mode
+// against an in-process origin, the bar rises to a three-service
+// trace: a sampled miss must merge loadgen, edge, and server.
+func gateTraceRun(tr *traceReport, inProcess, edged bool) error {
 	if tr == nil {
 		return errors.New("tracing disabled (-trace-cap 0)")
 	}
@@ -813,6 +952,9 @@ func gateTraceRun(tr *traceReport, inProcess bool) error {
 	}
 	if inProcess && tr.CrossProcess == 0 {
 		return errors.New("no cross-process trace: client and server fragments never merged")
+	}
+	if inProcess && edged && tr.ThreeWay == 0 {
+		return errors.New("no three-service trace: no sampled miss merged loadgen, edge, and server")
 	}
 	return nil
 }
@@ -861,6 +1003,14 @@ func writeHuman(w io.Writer, rep report) {
 	if rep.ServerShed > 0 || rep.ServerQueued > 0 {
 		fmt.Fprintf(w, "  server shed %d  queued %d  in-flight after drain %d\n",
 			rep.ServerShed, rep.ServerQueued, rep.ServerInFlightAfterDrain)
+	}
+	if e := rep.Edge; e != nil {
+		fmt.Fprintf(w, "  edge  requests %d  hits %d  fills %d  stale %d  errors %d  hit ratio %.1f%%\n",
+			e.Requests, e.Hits, e.Fills, e.StaleServes, e.Errors, e.HitRatio*100)
+		if e.OriginRequests >= 0 {
+			fmt.Fprintf(w, "  edge  origin saw %d requests  offload %.1f%%  cache %d entries / %.2f MB  evictions %d\n",
+				e.OriginRequests, e.OriginOffload*100, e.Entries, float64(e.CacheBytes)/1e6, e.Evictions)
+		}
 	}
 	fmt.Fprintf(w, "  latency ms  mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		rep.LatencyMeanMs, rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)

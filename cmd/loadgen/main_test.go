@@ -381,13 +381,22 @@ func TestRunGateTraceNeedsCap(t *testing.T) {
 
 // gateTraceRun is the tracesmoke tripwire; each invariant must fail loudly.
 func TestGateTraceRun(t *testing.T) {
-	if err := gateTraceRun(&traceReport{Kept: 3, CrossProcess: 1}, true); err != nil {
+	if err := gateTraceRun(&traceReport{Kept: 3, CrossProcess: 1}, true, false); err != nil {
 		t.Errorf("healthy trace report tripped the gate: %v", err)
 	}
 	// Against an external target the server half never lands in the
 	// local store, so cross-process is not required.
-	if err := gateTraceRun(&traceReport{Kept: 3}, false); err != nil {
+	if err := gateTraceRun(&traceReport{Kept: 3}, false, false); err != nil {
 		t.Errorf("external-target report tripped the gate: %v", err)
+	}
+	// With the in-process edge in the path, a cross-process trace alone
+	// is not enough: at least one miss must have merged loadgen, edge,
+	// and server fragments into a single three-service trace.
+	if err := gateTraceRun(&traceReport{Kept: 3, CrossProcess: 2, ThreeWay: 1}, true, true); err != nil {
+		t.Errorf("healthy edge trace report tripped the gate: %v", err)
+	}
+	if err := gateTraceRun(&traceReport{Kept: 3, CrossProcess: 2}, true, true); err == nil || !strings.Contains(err.Error(), "three") {
+		t.Errorf("edge run without a three-service trace should trip the gate, got %v", err)
 	}
 	cases := []struct {
 		name string
@@ -399,7 +408,7 @@ func TestGateTraceRun(t *testing.T) {
 		{"no merge", &traceReport{Kept: 5}, "cross-process"},
 	}
 	for _, c := range cases {
-		err := gateTraceRun(c.tr, true)
+		err := gateTraceRun(c.tr, true, false)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: want error containing %q, got %v", c.name, c.want, err)
 		}

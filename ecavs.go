@@ -62,6 +62,13 @@ type (
 	DecisionRecorder = sim.DecisionRecorder
 	// DecisionEvent is one recorded ABR decision snapshot.
 	DecisionEvent = sim.DecisionEvent
+	// SessionParams are the session knobs shared by every way of
+	// launching a session (sim.Config, sim.TraceSession, and Stream's
+	// options): early abandonment, vibration scaling, outage overlays,
+	// metrics-only replay, decision recording, and the compiled
+	// per-rung QoE table. The simulator embeds it, so the fields read
+	// and write as flat selectors on either config struct.
+	SessionParams = sim.SessionParams
 )
 
 // DefaultAlpha is the paper's evaluation weighting (energy and QoE

@@ -343,15 +343,14 @@ func Run(cfg Config) (*Result, error) {
 				return fmt.Errorf("campaign: session %d %s: %w", u, algos[ai].Name, err)
 			}
 			ses := sim.TraceSession{
-				Trace:        cfg.Traces[ti],
-				Compiled:     compiled[ti],
-				Manifest:     manifests[ti],
-				Algorithm:    alg,
-				Power:        pm,
-				QoE:          qm,
-				ThresholdSec: threshold,
-				MetricsOnly:  true,
-				RungQoE:      rungQoE,
+				Trace:         cfg.Traces[ti],
+				Compiled:      compiled[ti],
+				SessionParams: sim.SessionParams{MetricsOnly: true, RungQoE: rungQoE},
+				Manifest:      manifests[ti],
+				Algorithm:     alg,
+				Power:         pm,
+				QoE:           qm,
+				ThresholdSec:  threshold,
 			}
 			if abandonGate < cfg.AbandonProb {
 				ses.AbandonAtSec = (0.1 + 0.8*abandonFrac) * cfg.Traces[ti].LengthSec

@@ -232,13 +232,13 @@ func (e *Env) AblationAbandonment() (*Table, error) {
 			return err
 		}
 		m, err := sim.Run(sim.Config{
+			SessionParams:      sim.SessionParams{AbandonAtSec: r.Trace.LengthSec / 3},
 			Manifest:           man,
 			Link:               link,
 			Algorithm:          abr.NewYoutube(),
 			Power:              e.EvalPower,
 			QoE:                e.QoE,
 			BufferThresholdSec: threshold,
-			AbandonAtSec:       r.Trace.LengthSec / 3,
 		})
 		if err != nil {
 			return err

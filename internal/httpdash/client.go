@@ -156,9 +156,6 @@ type clientTelemetry struct {
 	stallSec   *telemetry.Gauge
 }
 
-// ClientOption customises the client.
-type ClientOption func(*Client)
-
 // WithHTTPClient overrides the default http.Client.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) {
@@ -251,23 +248,41 @@ func WithSharedBreaker(b *Breaker) ClientOption {
 //	httpdash_client_breaker_fast_fails_total  attempts refused while open
 //
 // A nil registry is a no-op. Multiple clients sharing one registry
-// share the series — the counters describe the fleet.
+// share the series — the counters describe the fleet. The option only
+// records the registry; series are wired after all options applied, so
+// it composes with WithCircuitBreaker in any order.
 func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
 	return func(c *Client) {
-		if reg == nil {
-			return
-		}
 		c.telReg = reg
-		c.tel = clientTelemetry{
-			segments:   reg.Counter("httpdash_client_segments_total", "Segments fetched successfully."),
-			bytes:      reg.Counter("httpdash_client_bytes_total", "Segment payload bytes received."),
-			retries:    reg.Counter("httpdash_client_retries_total", "Re-attempted segment fetches."),
-			downgrades: reg.Counter("httpdash_client_downgrades_total", "Ladder rung step-downs applied while retrying."),
-			timeouts:   reg.Counter("httpdash_client_timeouts_total", "Fetch attempts that hit the per-attempt deadline."),
-			truncated:  reg.Counter("httpdash_client_truncated_total", "Fetch attempts rejected for a short body."),
-			abandoned:  reg.Counter("httpdash_client_abandoned_total", "Segments abandoned after the retry budget ran out."),
-			stallSec:   reg.Gauge("httpdash_client_stall_seconds", "Cumulative virtual-playback stall time."),
-		}
+	}
+}
+
+// wireTelemetry registers the client's series on the recorded registry.
+// It runs once in NewClient, after every option has applied — the
+// breaker mirrors exist exactly when both WithClientTelemetry and a
+// breaker option were given, in either order.
+func (c *Client) wireTelemetry() {
+	reg := c.telReg
+	if reg == nil {
+		return
+	}
+	c.tel = clientTelemetry{
+		segments:   reg.Counter("httpdash_client_segments_total", "Segments fetched successfully."),
+		bytes:      reg.Counter("httpdash_client_bytes_total", "Segment payload bytes received."),
+		retries:    reg.Counter("httpdash_client_retries_total", "Re-attempted segment fetches."),
+		downgrades: reg.Counter("httpdash_client_downgrades_total", "Ladder rung step-downs applied while retrying."),
+		timeouts:   reg.Counter("httpdash_client_timeouts_total", "Fetch attempts that hit the per-attempt deadline."),
+		truncated:  reg.Counter("httpdash_client_truncated_total", "Fetch attempts rejected for a short body."),
+		abandoned:  reg.Counter("httpdash_client_abandoned_total", "Segments abandoned after the retry budget ran out."),
+		stallSec:   reg.Gauge("httpdash_client_stall_seconds", "Cumulative virtual-playback stall time."),
+		fastFails: reg.Counter("httpdash_client_breaker_fast_fails_total",
+			"Fetch attempts refused locally by an open circuit breaker."),
+	}
+	if c.breaker != nil {
+		c.breaker.telState = reg.Gauge("httpdash_client_breaker_state",
+			"Circuit breaker position: 0 closed, 1 open, 2 half-open.")
+		c.breaker.telOpens = reg.Counter("httpdash_client_breaker_opens_total",
+			"Circuit breaker trips (transitions to open).")
 	}
 }
 
@@ -299,25 +314,12 @@ func NewClient(baseURL string, alg abr.Algorithm, opts ...ClientOption) (*Client
 		threshold:  player.DefaultBufferThresholdSec,
 		retry:      RetryPolicy{MaxAttempts: 1},
 	}
-	for _, o := range opts {
-		o(c)
-	}
+	applyOptions(c, opts)
 	if err := c.retry.validate(); err != nil {
 		return nil, err
 	}
 	c.jitter.Store(uint64(c.retry.JitterSeed))
-	// Breaker and telemetry options compose in either order, so the
-	// breaker's mirrors are wired once both have applied.
-	if c.telReg != nil {
-		c.tel.fastFails = c.telReg.Counter("httpdash_client_breaker_fast_fails_total",
-			"Fetch attempts refused locally by an open circuit breaker.")
-		if c.breaker != nil {
-			c.breaker.telState = c.telReg.Gauge("httpdash_client_breaker_state",
-				"Circuit breaker position: 0 closed, 1 open, 2 half-open.")
-			c.breaker.telOpens = c.telReg.Counter("httpdash_client_breaker_opens_total",
-				"Circuit breaker trips (transitions to open).")
-		}
-	}
+	c.wireTelemetry()
 	return c, nil
 }
 

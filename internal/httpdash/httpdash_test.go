@@ -98,8 +98,8 @@ func TestServerSegmentEndpoint(t *testing.T) {
 	if got := float64(n) / 1e6; got < wantMB*0.99 || got > wantMB*1.01 {
 		t.Errorf("segment bytes = %.3f MB, want ≈ %.3f MB", got, wantMB)
 	}
-	if srv.BytesSent() != n {
-		t.Errorf("BytesSent = %d, want %d", srv.BytesSent(), n)
+	if got := srv.Snapshot().Bytes; got != n {
+		t.Errorf("Snapshot().Bytes = %d, want %d", got, n)
 	}
 }
 

@@ -1,0 +1,37 @@
+package httpdash
+
+// Option is the one functional-option shape every httpdash constructor
+// takes: a client, server, or edge option is just Option[Client],
+// Option[Server], or Option[Edge]. Unifying the three under a single
+// generic type keeps the pattern — and its contract — in one place:
+//
+//   - An option only records configuration on the target struct. It
+//     must not derive state from other options' fields, because option
+//     order is unspecified.
+//   - Everything that depends on more than one option (telemetry
+//     mirrors for a breaker or admission controller, gauge closures
+//     over a replaceable cache) is wired by the constructor after every
+//     option has applied, so all options compose in any order. The
+//     option-permutation test pins this for the full option surface.
+//   - Nil options are skipped, so callers can build option slices
+//     conditionally without filtering.
+type Option[T any] func(*T)
+
+// ClientOption customises the streaming client.
+type ClientOption = Option[Client]
+
+// ServerOption customises the origin server.
+type ServerOption = Option[Server]
+
+// EdgeOption customises the caching edge proxy.
+type EdgeOption = Option[Edge]
+
+// applyOptions runs the options in order, skipping nils. Constructors
+// call it once and then do all cross-option wiring themselves.
+func applyOptions[T any](target *T, opts []Option[T]) {
+	for _, o := range opts {
+		if o != nil {
+			o(target)
+		}
+	}
+}

@@ -138,9 +138,6 @@ func (p *pacer) reserve(r *http.Request, n int, rateMBps float64) bool {
 	}
 }
 
-// ServerOption customises the server.
-type ServerOption func(*Server)
-
 // WithRateLimitMBps shapes segment responses to the given aggregate
 // rate (a token bucket shared by every connection, paced in 64 KiB
 // chunks). Zero disables shaping.
@@ -163,35 +160,50 @@ func WithRateLimitMBps(mbps float64) ServerOption {
 //	httpdash_server_inflight              currently admitted requests (scrape-time)
 //	httpdash_server_segment_seconds       segment serve latency
 //
-// A nil registry is a no-op (Snapshot and BytesSent still work — they
-// read the always-on atomic counters).
+// A nil registry is a no-op (Snapshot still works — it reads the
+// always-on atomic counters). The option only records the registry;
+// every series is wired after all options applied, so it composes with
+// admission control and tracing in any order.
 func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
 	return func(s *Server) {
-		if reg == nil {
-			return
-		}
 		s.telReg = reg
-		requests := reg.CounterVec("httpdash_server_requests_total",
-			"Segment requests accepted, by ladder rung.", "rung")
-		bytes := reg.CounterVec("httpdash_server_bytes_total",
-			"Segment payload bytes sent, by ladder rung.", "rung")
-		faultsVec := reg.CounterVec("httpdash_server_faults_total",
-			"Injected fault verdicts realized, by ladder rung.", "rung")
-		shedVec := reg.CounterVec("httpdash_server_shed_total",
-			"Segment requests shed by admission control, by ladder rung.", "rung")
-		for i := range s.repIDs {
-			rung := strconv.Itoa(i)
-			s.telRequests[i] = requests.With(rung)
-			s.telBytes[i] = bytes.With(rung)
-			s.telFaults[i] = faultsVec.With(rung)
-			s.telShed[i] = shedVec.With(rung)
-		}
-		s.telLatency = reg.Histogram("httpdash_server_segment_seconds",
-			"Wall-clock time serving one segment request.", telemetry.DefLatencyBuckets())
-		reg.GaugeFunc("httpdash_server_inflight",
-			"Requests currently being served (sampled at scrape time).", func() float64 {
-				return float64(s.gate.inFlight())
-			})
+	}
+}
+
+// wireTelemetry registers the server's series on the recorded registry.
+// It runs once, after every option has applied, which is what makes
+// WithServerTelemetry order-independent with respect to
+// WithAdmissionControl: the admission queue counter exists exactly when
+// both options were given, whichever came first.
+func (s *Server) wireTelemetry() {
+	reg := s.telReg
+	if reg == nil {
+		return
+	}
+	requests := reg.CounterVec("httpdash_server_requests_total",
+		"Segment requests accepted, by ladder rung.", "rung")
+	bytes := reg.CounterVec("httpdash_server_bytes_total",
+		"Segment payload bytes sent, by ladder rung.", "rung")
+	faultsVec := reg.CounterVec("httpdash_server_faults_total",
+		"Injected fault verdicts realized, by ladder rung.", "rung")
+	shedVec := reg.CounterVec("httpdash_server_shed_total",
+		"Segment requests shed by admission control, by ladder rung.", "rung")
+	for i := range s.repIDs {
+		rung := strconv.Itoa(i)
+		s.telRequests[i] = requests.With(rung)
+		s.telBytes[i] = bytes.With(rung)
+		s.telFaults[i] = faultsVec.With(rung)
+		s.telShed[i] = shedVec.With(rung)
+	}
+	s.telLatency = reg.Histogram("httpdash_server_segment_seconds",
+		"Wall-clock time serving one segment request.", telemetry.DefLatencyBuckets())
+	reg.GaugeFunc("httpdash_server_inflight",
+		"Requests currently being served (sampled at scrape time).", func() float64 {
+			return float64(s.gate.inFlight())
+		})
+	if s.admission != nil {
+		s.admission.telQueued = reg.Counter("httpdash_server_queued_total",
+			"Segment requests that waited in the admission queue.")
 	}
 }
 
@@ -278,15 +290,8 @@ func NewServer(m *dash.Manifest, opts ...ServerOption) (*Server, error) {
 		telFaults:   make([]*telemetry.Counter, len(ids)),
 		telShed:     make([]*telemetry.Counter, len(ids)),
 	}
-	for _, o := range opts {
-		o(s)
-	}
-	// Admission and telemetry options compose in either order, so the
-	// controller's own mirrors are wired after both have applied.
-	if s.telReg != nil && s.admission != nil {
-		s.admission.telQueued = s.telReg.Counter("httpdash_server_queued_total",
-			"Segment requests that waited in the admission queue.")
-	}
+	applyOptions(s, opts)
+	s.wireTelemetry()
 	return s, nil
 }
 
@@ -368,12 +373,6 @@ func (s *Server) Snapshot() Snapshot {
 	}
 	snap.InFlight = s.gate.inFlight()
 	return snap
-}
-
-// BytesSent reports the total segment payload served — a compatibility
-// wrapper over Snapshot for callers that predate per-rung accounting.
-func (s *Server) BytesSent() int64 {
-	return s.Snapshot().Bytes
 }
 
 // ServeHTTP implements http.Handler.

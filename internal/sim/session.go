@@ -5,7 +5,6 @@ import (
 
 	"ecavs/internal/abr"
 	"ecavs/internal/dash"
-	"ecavs/internal/netsim"
 	"ecavs/internal/player"
 	"ecavs/internal/power"
 	"ecavs/internal/qoe"
@@ -25,9 +24,11 @@ type TraceSession struct {
 	// and memoizes on the trace, so repeated sessions over one trace
 	// still share a single compilation.
 	Compiled *trace.Compiled
-	// RungQoE, when non-nil, is the ladder's compiled QoE table (see
-	// Config.RungQoE). Nil keeps the direct Eq. 1 path.
-	RungQoE *qoe.RungTable
+	// SessionParams carries the knobs shared with Config (abandonment,
+	// vibration scaling, outages, metrics-only replay, decision
+	// recording, the compiled QoE table); its fields read and write as
+	// if declared here.
+	SessionParams
 	// Manifest is the video being streamed.
 	Manifest *dash.Manifest
 	// Algorithm selects bitrates; it is Reset before the run.
@@ -49,21 +50,6 @@ type TraceSession struct {
 	// RRC, when non-nil, enables the LTE radio-state machine (see
 	// Config.RRC).
 	RRC *power.RRCConfig
-	// AbandonAtSec ends playback early (see Config.AbandonAtSec).
-	AbandonAtSec float64
-	// Outage overlays a seeded outage process on the trace's link (see
-	// Config.Outage).
-	Outage *netsim.OutageConfig
-	// VibrationScale multiplies the sensed vibration level (Monte-Carlo
-	// viewer-context draws). Zero means 1 (unscaled); ForceVibration
-	// takes precedence.
-	VibrationScale float64
-	// MetricsOnly skips per-segment log retention (see
-	// Config.MetricsOnly).
-	MetricsOnly bool
-	// Recorder receives sampled per-segment decision events (see
-	// Config.Recorder). Nil disables tracing at zero cost.
-	Recorder *DecisionRecorder
 }
 
 // Run replays the session. The trace is queried through its compiled
@@ -95,18 +81,19 @@ func (s TraceSession) Run() (*Metrics, error) {
 		window = vibration.DefaultWindowSec
 	}
 	cur := comp.Cursor()
+	params := s.SessionParams
 	var vibAt func(float64) float64
-	switch {
-	case s.ForceVibration != nil:
+	if s.ForceVibration != nil {
+		// The forced constant replaces the sensed signal entirely, so
+		// the Monte-Carlo scale must not apply on top of it.
 		v := *s.ForceVibration
 		vibAt = func(float64) float64 { return v }
-	case s.VibrationScale > 0 && s.VibrationScale != 1:
-		scale := s.VibrationScale
-		vibAt = func(t float64) float64 { return scale * cur.VibrationAt(t, window) }
-	default:
+		params.VibrationScale = 0
+	} else {
 		vibAt = func(t float64) float64 { return cur.VibrationAt(t, window) }
 	}
 	return Run(Config{
+		SessionParams:      params,
 		Manifest:           s.Manifest,
 		Link:               link,
 		VibrationAt:        vibAt,
@@ -116,11 +103,6 @@ func (s TraceSession) Run() (*Metrics, error) {
 		BufferThresholdSec: s.ThresholdSec,
 		ResumeThresholdSec: s.ResumeThresholdSec,
 		RRC:                s.RRC,
-		AbandonAtSec:       s.AbandonAtSec,
-		Outage:             s.Outage,
-		MetricsOnly:        s.MetricsOnly,
-		Recorder:           s.Recorder,
-		RungQoE:            s.RungQoE,
 	})
 }
 
@@ -134,13 +116,13 @@ func RunOnTrace(tr *trace.Trace, m *dash.Manifest, alg abr.Algorithm, pm power.M
 		rt = qm.CompileRungs(m.Ladder().Bitrates())
 	}
 	return TraceSession{
-		Trace:        tr,
-		Manifest:     m,
-		Algorithm:    alg,
-		Power:        pm,
-		QoE:          qm,
-		ThresholdSec: thresholdSec,
-		RungQoE:      rt,
+		Trace:         tr,
+		SessionParams: SessionParams{RungQoE: rt},
+		Manifest:      m,
+		Algorithm:     alg,
+		Power:         pm,
+		QoE:           qm,
+		ThresholdSec:  thresholdSec,
 	}.Run()
 }
 

@@ -18,8 +18,59 @@ import (
 	"ecavs/internal/qoe"
 )
 
+// SessionParams are the session knobs shared verbatim by every way of
+// launching a session — the synthetic-link Config, the trace-replay
+// TraceSession, and the public facade's options. They are embedded, so
+// callers keep writing flat selectors (cfg.AbandonAtSec = 90) while
+// the definition, documentation, and defaults live in exactly one
+// place.
+type SessionParams struct {
+	// AbandonAtSec, when positive, ends the session once playback
+	// reaches that point (the viewer quits early — the behaviour that
+	// makes deep prefetching waste energy, cf. Hu & Cao, INFOCOM 2015).
+	// Content downloaded but never played is reported in
+	// Metrics.WastedMB.
+	AbandonAtSec float64
+	// VibrationScale multiplies the session's vibration signal
+	// (Monte-Carlo viewer-context draws). Zero means 1 (unscaled). In a
+	// TraceSession, ForceVibration takes precedence.
+	VibrationScale float64
+	// Outage, when non-nil, overlays a seeded up/down outage process on
+	// the link (netsim.WithOutages): tunnels and dead zones on top of
+	// whatever channel or trace the session replays. Outage counts and
+	// down time are reported in Metrics.OutageCount / OutageSec.
+	Outage *netsim.OutageConfig
+	// MetricsOnly skips the per-segment SegmentLog accumulation:
+	// Metrics.Segments stays nil while every scalar field is computed
+	// exactly as in the full-log mode. Campaign runs simulating many
+	// thousands of sessions use it to keep the per-session hot path
+	// allocation-free; the default (full logs) is what cmd/experiments
+	// and the figure pipelines consume.
+	MetricsOnly bool
+	// Recorder, when non-nil, receives one DecisionEvent per segment —
+	// the sampled decision trace behind the telemetry layer's NDJSON
+	// output. Nil (the default) keeps the hot path untouched: the only
+	// cost is one pointer comparison per segment, preserving the
+	// 18-alloc session pin and bit-identical campaign determinism.
+	Recorder *DecisionRecorder
+	// RungQoE, when non-nil, is a per-rung QoE table compiled from the
+	// QoE model over the manifest ladder's bitrates
+	// (qoe.Model.CompileRungs); the realized per-segment QoE is then
+	// read from the table instead of re-evaluating the Eq. 1 curve
+	// functions. The table path is bit-identical to the direct one, so
+	// results do not change — only the per-segment math.Pow calls
+	// disappear. Callers that replay many sessions over one ladder
+	// (campaign, eval) compile once and share the table; nil keeps the
+	// direct path and its allocation profile.
+	RungQoE *qoe.RungTable
+}
+
 // Config describes one streaming session.
 type Config struct {
+	// SessionParams carries the knobs shared with TraceSession and the
+	// facade; its fields read and write as if declared here.
+	SessionParams
+
 	// Manifest is the video being streamed.
 	Manifest *dash.Manifest
 	// Link is the radio link (synthetic channel or trace replay).
@@ -46,44 +97,10 @@ type Config struct {
 	// promotions, tail energy after each burst, and idle paging power
 	// are accounted in Metrics.RadioCtlJ.
 	RRC *power.RRCConfig
-	// AbandonAtSec, when positive, ends the session once playback
-	// reaches that point (the viewer quits early — the behaviour that
-	// makes deep prefetching waste energy, cf. Hu & Cao, INFOCOM 2015).
-	// Content downloaded but never played is reported in
-	// Metrics.WastedMB.
-	AbandonAtSec float64
 	// TCPRampSec, when positive, applies a slow-start-style ramp to
 	// each segment download: the rate climbs linearly to the link rate
 	// over this many seconds, penalising very short segments.
 	TCPRampSec float64
-	// Outage, when non-nil, overlays a seeded up/down outage process on
-	// the link (netsim.WithOutages): tunnels and dead zones on top of
-	// whatever channel or trace the session replays. Outage counts and
-	// down time are reported in Metrics.OutageCount / OutageSec.
-	Outage *netsim.OutageConfig
-	// MetricsOnly skips the per-segment SegmentLog accumulation:
-	// Metrics.Segments stays nil while every scalar field is computed
-	// exactly as in the full-log mode. Campaign runs simulating many
-	// thousands of sessions use it to keep the per-session hot path
-	// allocation-free; the default (full logs) is what cmd/experiments
-	// and the figure pipelines consume.
-	MetricsOnly bool
-	// Recorder, when non-nil, receives one DecisionEvent per segment —
-	// the sampled decision trace behind the telemetry layer's NDJSON
-	// output. Nil (the default) keeps the hot path untouched: the only
-	// cost is one pointer comparison per segment, preserving the
-	// 18-alloc session pin and bit-identical campaign determinism.
-	Recorder *DecisionRecorder
-	// RungQoE, when non-nil, is a per-rung QoE table compiled from QoE
-	// over the manifest ladder's bitrates (qoe.Model.CompileRungs); the
-	// realized per-segment QoE is then read from the table instead of
-	// re-evaluating the Eq. 1 curve functions. The table path is
-	// bit-identical to the direct one, so results do not change — only
-	// the per-segment math.Pow calls disappear. Callers that replay
-	// many sessions over one ladder (campaign, eval) compile once and
-	// share the table; nil keeps the direct path and its allocation
-	// profile.
-	RungQoE *qoe.RungTable
 }
 
 // SegmentLog records one task's outcome.
@@ -213,6 +230,9 @@ func Run(cfg Config) (*Metrics, error) {
 	vibAt := cfg.VibrationAt
 	if vibAt == nil {
 		vibAt = func(float64) float64 { return 0 }
+	} else if scale := cfg.VibrationScale; scale > 0 && scale != 1 {
+		base := vibAt
+		vibAt = func(t float64) float64 { return scale * base(t) }
 	}
 	link := cfg.Link
 	var outage *netsim.OutageLink
